@@ -1,0 +1,90 @@
+//! Hot-path microbenchmarks of the simulator itself.
+//!
+//! These track the cost of simulating one kilocycle of a 4×4 torus
+//! under the three protocols at a light and a saturating load, plus
+//! the throughput of the pure routing functions. They guard against
+//! performance regressions in the inner loops that every experiment
+//! pays for.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cr_bench::reference_network;
+use cr_core::ProtocolKind;
+use cr_router::routing::{DimensionOrder, DuatoProtocol, MinimalAdaptive};
+use cr_router::{Flit, FlitKind, RouteCtx, RoutingFunction, WormId};
+use cr_sim::{Cycle, MessageId, NodeId, SimRng};
+use cr_topology::{KAryNCube, Topology};
+
+fn bench_network_stepping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("network_kilocycle");
+    g.sample_size(20);
+    for (name, protocol, load) in [
+        ("dor_baseline_light", ProtocolKind::Baseline, 0.1),
+        ("dor_baseline_saturated", ProtocolKind::Baseline, 0.6),
+        ("cr_light", ProtocolKind::Cr, 0.1),
+        ("cr_saturated", ProtocolKind::Cr, 0.6),
+        ("fcr_light", ProtocolKind::Fcr, 0.1),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter_batched(
+                || {
+                    let mut net = reference_network(protocol, load);
+                    net.run(500); // reach steady state once per batch
+                    net
+                },
+                |mut net| {
+                    for _ in 0..1_000 {
+                        net.step();
+                    }
+                    net
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_routing_functions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("routing_function");
+    let topo = KAryNCube::torus(8, 2);
+    let header = Flit::new(
+        WormId::new(MessageId::new(1), 0),
+        FlitKind::Head,
+        NodeId::new(0),
+        NodeId::new(27),
+        0,
+        0,
+        16,
+        16,
+        Cycle::ZERO,
+    );
+    let dead = vec![false; topo.max_ports()];
+
+    let cases: Vec<(&str, Box<dyn RoutingFunction>)> = vec![
+        ("dimension_order", Box::new(DimensionOrder::torus(1))),
+        ("minimal_adaptive", Box::new(MinimalAdaptive::new(2))),
+        ("duato", Box::new(DuatoProtocol::torus(2))),
+    ];
+    for (name, rf) in cases {
+        g.bench_function(name, |b| {
+            let mut rng = SimRng::from_seed(3);
+            let mut out = Vec::new();
+            b.iter(|| {
+                out.clear();
+                let mut ctx = RouteCtx {
+                    topo: &topo,
+                    node: NodeId::new(0),
+                    flit: &header,
+                    dead_out: &dead,
+                    rng: &mut rng,
+                };
+                rf.candidates(&mut ctx, &mut out);
+                out.len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_network_stepping, bench_routing_functions);
+criterion_main!(benches);

@@ -1,0 +1,302 @@
+//! Network configuration: protocol, routing and resource knobs.
+
+use crate::retransmit::RetransmitScheme;
+use cr_router::routing::{DimensionOrder, DuatoProtocol, MinimalAdaptive, PlanarAdaptive};
+use cr_router::RoutingFunction;
+use serde::{Deserialize, Serialize};
+
+/// Which end-to-end protocol the network interfaces run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// Plain wormhole interfaces: no padding, no timeouts, no kills.
+    /// Correct only with a deadlock-free routing function (DOR,
+    /// Duato); with plain adaptive routing it *will* deadlock — which
+    /// the test-suite demonstrates on purpose.
+    Baseline,
+    /// Compressionless Routing: padding to `I_min`, source timeout,
+    /// kill-and-retransmit deadlock recovery.
+    Cr,
+    /// Fault-tolerant CR: everything `Cr` does, plus per-flit error
+    /// detection with forward/backward kills for end-to-end reliable
+    /// delivery.
+    Fcr,
+}
+
+impl ProtocolKind {
+    /// Does this protocol pad worms to span their path?
+    pub fn pads(self) -> bool {
+        matches!(self, ProtocolKind::Cr | ProtocolKind::Fcr)
+    }
+
+    /// Does this protocol run the source timeout/kill machinery?
+    pub fn kills(self) -> bool {
+        matches!(self, ProtocolKind::Cr | ProtocolKind::Fcr)
+    }
+
+    /// Does this protocol detect and recover from flit corruption?
+    pub fn detects_faults(self) -> bool {
+        matches!(self, ProtocolKind::Fcr)
+    }
+}
+
+/// Which routing algorithm the routers run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RoutingKind {
+    /// Dimension-order routing with `lanes` virtual lanes per dateline
+    /// class (two classes on a torus, one on a mesh).
+    Dor {
+        /// Virtual lanes per dateline class.
+        lanes: usize,
+    },
+    /// Minimal fully-adaptive routing over `vcs` virtual channels.
+    Adaptive {
+        /// Virtual channels per port (1 suffices for CR).
+        vcs: usize,
+    },
+    /// Minimal-adaptive with misrouting around dead links, up to
+    /// `extra_hops` non-minimal hops per attempt.
+    AdaptiveMisroute {
+        /// Virtual channels per port.
+        vcs: usize,
+        /// Extra (non-minimal) hops allowed per attempt.
+        extra_hops: u16,
+    },
+    /// Duato's protocol: `adaptive_vcs` adaptive channels plus a
+    /// dimension-order escape network.
+    Duato {
+        /// Adaptive (non-escape) virtual channels.
+        adaptive_vcs: usize,
+    },
+    /// Planar-adaptive routing (2-D mesh only): partially adaptive,
+    /// deadlock-free with two virtual channels — the paper authors'
+    /// earlier algorithm, as a third baseline.
+    PlanarAdaptive,
+}
+
+impl RoutingKind {
+    /// Instantiates the routing function for a torus (`torus = true`)
+    /// or mesh topology.
+    pub fn build(self, torus: bool) -> Box<dyn RoutingFunction> {
+        match self {
+            RoutingKind::Dor { lanes } => {
+                if torus {
+                    Box::new(DimensionOrder::torus(lanes))
+                } else {
+                    Box::new(DimensionOrder::mesh(lanes))
+                }
+            }
+            RoutingKind::Adaptive { vcs } => Box::new(MinimalAdaptive::new(vcs)),
+            RoutingKind::AdaptiveMisroute { vcs, extra_hops } => {
+                Box::new(MinimalAdaptive::new(vcs).with_misrouting(extra_hops))
+            }
+            RoutingKind::Duato { adaptive_vcs } => {
+                if torus {
+                    Box::new(DuatoProtocol::torus(adaptive_vcs))
+                } else {
+                    Box::new(DuatoProtocol::mesh(adaptive_vcs))
+                }
+            }
+            RoutingKind::PlanarAdaptive => {
+                assert!(
+                    !torus,
+                    "planar-adaptive routing is deadlock-free on meshes only"
+                );
+                Box::new(PlanarAdaptive::new())
+            }
+        }
+    }
+
+    /// Extra non-minimal hops this routing may take (affects `I_min`).
+    pub fn misroute_budget(self) -> u16 {
+        match self {
+            RoutingKind::AdaptiveMisroute { extra_hops, .. } => extra_hops,
+            _ => 0,
+        }
+    }
+
+    /// Whether the routing requires dimension-order support from the
+    /// topology (cube coordinates; arbitrary graphs lack them).
+    pub fn needs_dimension_order(self) -> bool {
+        matches!(
+            self,
+            RoutingKind::Dor { .. } | RoutingKind::Duato { .. } | RoutingKind::PlanarAdaptive
+        )
+    }
+}
+
+/// Research ablation switches: disable individual CR mechanisms to
+/// measure what each one contributes. All off by default; the
+/// `ext_ablation` experiment sweeps them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ablations {
+    /// Skip padding worms to `I_min`. Without padding a worm can be
+    /// fully injected while uncommitted, leaving nobody to detect its
+    /// deadlock — the deadlock-freedom *proof* breaks, and at load the
+    /// network does too (the watchdog shows it).
+    pub disable_padding: bool,
+    /// Tear down killed worms atomically instead of walking tokens one
+    /// hop per cycle — an idealized "infinitely fast kill wire" that
+    /// bounds how much teardown latency costs.
+    pub instant_teardown: bool,
+    /// Ignore the commitment check: the source kills *any* stalled
+    /// worm after the timeout, committed or not. Still correct
+    /// (receivers discard partials, retries redeliver) but wasteful —
+    /// quantifies what the `I_min` calculator buys.
+    pub ignore_commitment: bool,
+}
+
+/// Full network configuration. Defaults mirror the paper's setup:
+/// 2-flit buffers, single-cycle channels, one injection and one
+/// ejection channel per node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Routing algorithm.
+    pub routing: RoutingKind,
+    /// End-to-end protocol.
+    pub protocol: ProtocolKind,
+    /// Flit-buffer depth per input virtual channel.
+    pub buffer_depth: usize,
+    /// Channel pipeline depth in cycles (1 = adjacent routers).
+    pub channel_latency: u64,
+    /// Injection channels per node.
+    pub inject_channels: usize,
+    /// Injection FIFO depth per channel.
+    pub inject_depth: usize,
+    /// Ejection channels per node.
+    pub eject_channels: usize,
+    /// Source timeout in cycles before an uncommitted stalled worm is
+    /// killed. `None` picks the paper's default at build time:
+    /// `message length x number of virtual channels`.
+    pub timeout: Option<u64>,
+    /// Gap policy between a kill and its retransmission.
+    pub retransmit: RetransmitScheme,
+    /// If set, routers themselves kill any worm stalled locally for
+    /// this many cycles — the paper's inferior "path-wide" detection
+    /// scheme, kept for the comparison experiment.
+    pub path_wide_threshold: Option<u64>,
+    /// Cycles with zero forward progress after which the simulation
+    /// declares deadlock (only reachable with `Baseline` + adaptive
+    /// routing, by design).
+    pub deadlock_threshold: u64,
+    /// Warmup cycles excluded from measurement.
+    pub warmup: u64,
+    /// Master random seed.
+    pub seed: u64,
+    /// Research ablation switches (all off for the faithful protocol).
+    pub ablations: Ablations,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            routing: RoutingKind::Adaptive { vcs: 1 },
+            protocol: ProtocolKind::Cr,
+            buffer_depth: 2,
+            channel_latency: 1,
+            inject_channels: 1,
+            inject_depth: 2,
+            eject_channels: 1,
+            timeout: None,
+            retransmit: RetransmitScheme::default(),
+            path_wide_threshold: None,
+            deadlock_threshold: 20_000,
+            warmup: 1_000,
+            seed: 1,
+            ablations: Ablations::default(),
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// Number of virtual channels per port implied by the routing
+    /// choice.
+    pub fn num_vcs(&self) -> usize {
+        self.routing.build(true).num_vcs()
+    }
+
+    /// The `I_min` commitment threshold for a path of `hops` hops:
+    /// the maximum number of flits the path can store — injection FIFO
+    /// plus, per hop, the channel pipeline and one input VC buffer.
+    /// Once this many flits have been accepted, the header must have
+    /// reached the destination.
+    pub fn i_min(&self, hops: usize) -> usize {
+        self.inject_depth + hops * (self.buffer_depth + self.channel_latency as usize)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-sized resources or a zero timeout.
+    pub fn validate(&self) {
+        assert!(self.buffer_depth > 0, "buffer_depth must be positive");
+        assert!(self.channel_latency > 0, "channel_latency must be positive");
+        assert!(self.inject_channels > 0, "need an injection channel");
+        assert!(self.inject_depth > 0, "inject_depth must be positive");
+        assert!(self.eject_channels > 0, "need an ejection channel");
+        if let Some(t) = self.timeout {
+            assert!(t > 0, "timeout must be positive");
+        }
+        if let Some(t) = self.path_wide_threshold {
+            assert!(t > 0, "path-wide threshold must be positive");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_capabilities() {
+        assert!(!ProtocolKind::Baseline.pads());
+        assert!(!ProtocolKind::Baseline.kills());
+        assert!(ProtocolKind::Cr.pads());
+        assert!(ProtocolKind::Cr.kills());
+        assert!(!ProtocolKind::Cr.detects_faults());
+        assert!(ProtocolKind::Fcr.detects_faults());
+        assert!(ProtocolKind::Fcr.pads());
+    }
+
+    #[test]
+    fn routing_vc_requirements() {
+        assert_eq!(RoutingKind::Adaptive { vcs: 1 }.build(true).num_vcs(), 1);
+        assert_eq!(RoutingKind::Dor { lanes: 1 }.build(true).num_vcs(), 2);
+        assert_eq!(RoutingKind::Dor { lanes: 1 }.build(false).num_vcs(), 1);
+        assert_eq!(
+            RoutingKind::Duato { adaptive_vcs: 1 }.build(true).num_vcs(),
+            3
+        );
+        assert_eq!(
+            RoutingKind::AdaptiveMisroute {
+                vcs: 2,
+                extra_hops: 4
+            }
+            .misroute_budget(),
+            4
+        );
+    }
+
+    #[test]
+    fn i_min_formula() {
+        let cfg = NetworkConfig::default(); // inject 2, buffer 2, chan 1
+        assert_eq!(cfg.i_min(0), 2);
+        assert_eq!(cfg.i_min(1), 5);
+        assert_eq!(cfg.i_min(4), 14);
+    }
+
+    #[test]
+    fn default_is_valid() {
+        NetworkConfig::default().validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_buffer_rejected() {
+        let cfg = NetworkConfig {
+            buffer_depth: 0,
+            ..NetworkConfig::default()
+        };
+        cfg.validate();
+    }
+}

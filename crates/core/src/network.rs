@@ -1,0 +1,907 @@
+//! The network: routers, links, injectors and receivers, advanced one
+//! cycle at a time, with the CR/FCR kill machinery on top.
+//!
+//! # Cycle phases
+//!
+//! 1. **Arrivals** — flits finish their link traversal: fault
+//!    injection, killed-worm filtering, FCR corruption detection, then
+//!    acceptance into the downstream input VC.
+//! 2. **Kill tokens** — forward teardown tokens walk one hop toward
+//!    the destination, backward tokens one hop toward the source, each
+//!    flushing buffers, releasing channels and restoring credits.
+//! 3. **Path-wide detection** (optional) — routers kill locally
+//!    stalled worms (the paper's inferior alternative to source
+//!    timeouts).
+//! 4. **Traffic generation** — Bernoulli sources enqueue messages.
+//! 5. **Injection** — injectors push flits, watch stalls, and request
+//!    source-timeout kills.
+//! 6. **Routing/allocation** then **switch traversal** for every
+//!    router; departing flits enter link pipelines or receivers, and
+//!    credits return upstream.
+//! 7. Bookkeeping: registry pruning and the deadlock watchdog.
+
+use crate::config::NetworkConfig;
+use crate::injector::{Injector, PendingMessage};
+use crate::receiver::Receiver;
+use crate::report::{NetCounters, SimReport};
+use cr_faults::FaultModel;
+use cr_metrics::{LatencyRecorder, ThroughputMeter};
+use cr_router::{Flit, PortKind, RouteTarget, Router, RouterConfig, RoutingFunction, WormId};
+use cr_sim::{Cycle, MessageId, NodeId, PortId, SimRng, VcId};
+use cr_topology::Topology;
+use cr_traffic::TrafficSource;
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Debug)]
+struct LinkState {
+    /// Flits in flight or parked in the channel's stall-holding
+    /// latches, one lane per virtual channel so a blocked VC never
+    /// blocks the others: (arrival cycle, flit).
+    lanes: Vec<VecDeque<(Cycle, Flit)>>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Token {
+    worm: WormId,
+    node: usize,
+    port: PortId,
+    vc: VcId,
+}
+
+/// A complete simulated network. Build one with
+/// [`NetworkBuilder`](crate::NetworkBuilder).
+pub struct Network {
+    topo: Box<dyn Topology>,
+    cfg: NetworkConfig,
+    routing: Box<dyn RoutingFunction>,
+    faults: FaultModel,
+    timeout: u64,
+
+    routers: Vec<Router>,
+    injectors: Vec<Vec<Injector>>,
+    receivers: Vec<Receiver>,
+    sources: Vec<TrafficSource>,
+
+    links: Vec<LinkState>,
+    /// `out_link[node][port]` = link index leaving that port.
+    out_link: Vec<Vec<Option<usize>>>,
+    /// `link_head[link]` = (dst node, dst input port).
+    link_head: Vec<(usize, PortId)>,
+    /// `link_ids[link]` = the topology's `LinkId` (fault-model key).
+    link_ids: Vec<cr_sim::LinkId>,
+    /// `in_upstream[node][in_port]` = (upstream node, upstream output
+    /// port).
+    in_upstream: Vec<Vec<Option<(usize, PortId)>>>,
+
+    /// Post-warmup flits carried per link (channel-utilization
+    /// statistics).
+    link_flits: Vec<u64>,
+    killed: HashMap<WormId, Cycle>,
+    registry_lifetime: u64,
+    fwd_tokens: Vec<Token>,
+    bwd_tokens: Vec<Token>,
+    worm_sources: HashMap<MessageId, (usize, usize)>,
+    /// Future trace events, time-sorted (front = next due).
+    scheduled: VecDeque<cr_traffic::TraceEvent>,
+    seq_counters: HashMap<(u32, u32), u64>,
+    next_message_id: u64,
+
+    now: Cycle,
+    record_deliveries: bool,
+    delivery_log: Vec<crate::receiver::DeliveredMessage>,
+    latency: LatencyRecorder,
+    throughput: ThroughputMeter,
+    counters: NetCounters,
+    last_progress: Cycle,
+    deadlocked: bool,
+    offered_load: f64,
+    fault_rng: SimRng,
+}
+
+impl std::fmt::Debug for Network {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Network")
+            .field("topology", &self.topo.label())
+            .field("routing", &self.routing.name())
+            .field("protocol", &self.cfg.protocol)
+            .field("now", &self.now)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Network {
+    /// Assembles a network. Prefer
+    /// [`NetworkBuilder`](crate::NetworkBuilder), which fills in the
+    /// routing function and traffic sources consistently.
+    pub(crate) fn assemble(
+        topo: Box<dyn Topology>,
+        cfg: NetworkConfig,
+        routing: Box<dyn RoutingFunction>,
+        faults: FaultModel,
+        sources: Vec<TrafficSource>,
+        offered_load: f64,
+    ) -> Self {
+        cfg.validate();
+        let n = topo.num_nodes();
+        let root = SimRng::from_seed(cfg.seed);
+        let num_vcs = routing.num_vcs();
+
+        let mut routers = Vec::with_capacity(n);
+        for i in 0..n {
+            let node = NodeId::new(i as u32);
+            let rc = RouterConfig {
+                num_node_ports: topo.num_ports(node),
+                num_vcs,
+                buffer_depth: cfg.buffer_depth,
+                num_inject: cfg.inject_channels,
+                inject_depth: cfg.inject_depth,
+                num_eject: cfg.eject_channels,
+                link_depth: cfg.channel_latency as usize,
+            };
+            routers.push(Router::new(node, rc, root.split(1_000 + i as u64)));
+        }
+
+        // The paper's default timeout: message length x number of VCs.
+        // Without traffic we fall back to a generous constant.
+        let timeout = cfg.timeout.unwrap_or(32 * num_vcs as u64);
+        // Under the path-wide scheme, stall detection lives in the
+        // routers *instead of* the source: the injector never times
+        // out on its own (its injection FIFO is still watched by the
+        // path-wide detector, which covers the source case too).
+        let injector_timeout = if cfg.path_wide_threshold.is_some() {
+            u64::MAX
+        } else {
+            timeout
+        };
+
+        let mut injectors: Vec<Vec<Injector>> = Vec::with_capacity(n);
+        for i in 0..n {
+            let node = NodeId::new(i as u32);
+            injectors.push(
+                (0..cfg.inject_channels)
+                    .map(|c| {
+                        Injector::new(
+                            node,
+                            c,
+                            cfg.protocol,
+                            injector_timeout,
+                            cfg.retransmit,
+                            root.split(2_000_000 + (i * 64 + c) as u64),
+                        )
+                    })
+                    .collect(),
+            );
+        }
+        for chans in injectors.iter_mut() {
+            for inj in chans.iter_mut() {
+                inj.set_ablations(cfg.ablations);
+            }
+        }
+        let receivers = (0..n).map(|i| Receiver::new(NodeId::new(i as u32))).collect();
+
+        // Link tables.
+        let descs = topo.links();
+        let mut links = Vec::with_capacity(descs.len());
+        let mut out_link: Vec<Vec<Option<usize>>> = (0..n)
+            .map(|i| vec![None; topo.num_ports(NodeId::new(i as u32))])
+            .collect();
+        let mut link_head = Vec::with_capacity(descs.len());
+        let mut link_ids = Vec::with_capacity(descs.len());
+        let mut in_upstream: Vec<Vec<Option<(usize, PortId)>>> = (0..n)
+            .map(|i| vec![None; topo.num_ports(NodeId::new(i as u32))])
+            .collect();
+        for (idx, d) in descs.iter().enumerate() {
+            links.push(LinkState {
+                lanes: (0..num_vcs).map(|_| VecDeque::new()).collect(),
+            });
+            out_link[d.src.index()][d.src_port.index()] = Some(idx);
+            link_head.push((d.dst.index(), d.dst_port));
+            link_ids.push(d.id);
+            in_upstream[d.dst.index()][d.dst_port.index()] = Some((d.src.index(), d.src_port));
+        }
+
+        // Routers learn their dead outgoing links up front (the
+        // diagnosed-fault model; undiagnosed behaviour still works via
+        // corruption detection, this just lets adaptivity avoid them).
+        for d in &descs {
+            if faults.is_dead(d.id) {
+                routers[d.src.index()].set_dead_out(d.src_port);
+            }
+        }
+
+        let misroute = cfg.routing.misroute_budget() as usize;
+        let registry_lifetime =
+            4 * (topo.diameter() + misroute) as u64 + cfg.channel_latency + 64;
+
+        let warmup = Cycle::new(cfg.warmup);
+        Network {
+            latency: LatencyRecorder::new(warmup),
+            throughput: ThroughputMeter::new(warmup, n),
+            topo,
+            routing,
+            faults,
+            timeout,
+            routers,
+            injectors,
+            receivers,
+            sources,
+            link_flits: vec![0; links.len()],
+            links,
+            out_link,
+            link_head,
+            link_ids,
+            in_upstream,
+            killed: HashMap::new(),
+            registry_lifetime,
+            fwd_tokens: Vec::new(),
+            bwd_tokens: Vec::new(),
+            worm_sources: HashMap::new(),
+            scheduled: VecDeque::new(),
+            seq_counters: HashMap::new(),
+            next_message_id: 0,
+            now: Cycle::ZERO,
+            record_deliveries: false,
+            delivery_log: Vec::new(),
+            counters: NetCounters::default(),
+            last_progress: Cycle::ZERO,
+            deadlocked: false,
+            offered_load,
+            fault_rng: SimRng::from_seed(cfg.seed).split(777),
+            cfg,
+        }
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The network's configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &dyn Topology {
+        &*self.topo
+    }
+
+    /// The effective source timeout in cycles.
+    pub fn timeout(&self) -> u64 {
+        self.timeout
+    }
+
+    /// Live event counters.
+    pub fn counters(&self) -> &NetCounters {
+        &self.counters
+    }
+
+    /// `true` once the deadlock watchdog has fired.
+    pub fn is_deadlocked(&self) -> bool {
+        self.deadlocked
+    }
+
+    /// The router at `node` (for tests and instrumentation).
+    pub fn router(&self, node: NodeId) -> &Router {
+        &self.routers[node.index()]
+    }
+
+    /// The receiver at `node`.
+    pub fn receiver(&self, node: NodeId) -> &Receiver {
+        &self.receivers[node.index()]
+    }
+
+    /// Injection channel `channel` at `node`.
+    pub fn injector(&self, node: NodeId, channel: usize) -> &Injector {
+        &self.injectors[node.index()][channel]
+    }
+
+    /// Enables (or disables) logging of every delivered message,
+    /// retrievable with [`Network::take_delivery_log`]. Off by default
+    /// to keep long sweeps lean.
+    pub fn set_record_deliveries(&mut self, on: bool) {
+        self.record_deliveries = on;
+    }
+
+    /// Drains the recorded delivery log (empty unless
+    /// [`Network::set_record_deliveries`] was enabled).
+    pub fn take_delivery_log(&mut self) -> Vec<crate::receiver::DeliveredMessage> {
+        std::mem::take(&mut self.delivery_log)
+    }
+
+    /// Flits currently buffered in routers or in flight on links.
+    pub fn flits_in_flight(&self) -> usize {
+        self.routers.iter().map(Router::total_occupancy).sum::<usize>()
+            + self
+                .links
+                .iter()
+                .flat_map(|l| l.lanes.iter())
+                .map(VecDeque::len)
+                .sum::<usize>()
+    }
+
+    /// Queues a message for transmission, bypassing the traffic
+    /// sources — the programmatic send API used by the examples.
+    ///
+    /// Returns the message id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src == dst`, if either node is out of range, or if
+    /// `payload_len < 2`.
+    pub fn send_message(&mut self, src: NodeId, dst: NodeId, payload_len: u32) -> MessageId {
+        assert!(src.index() < self.topo.num_nodes(), "src out of range");
+        assert!(dst.index() < self.topo.num_nodes(), "dst out of range");
+        assert_ne!(src, dst, "self-addressed message");
+        assert!(payload_len >= 2, "a worm needs a head and a tail");
+        let id = MessageId::new(self.next_message_id);
+        self.next_message_id += 1;
+        let seq = self
+            .seq_counters
+            .entry((src.as_u32(), dst.as_u32()))
+            .or_insert(0);
+        let msg_seq = *seq;
+        *seq += 1;
+        let hops = self.topo.distance(src, dst);
+        let budget = self.cfg.routing.misroute_budget() as usize;
+        let channel = dst.index() % self.cfg.inject_channels;
+        let msg = PendingMessage {
+            id,
+            src,
+            dst,
+            payload_len,
+            msg_seq,
+            created: self.now,
+            hops,
+            i_min: self.cfg.i_min(hops + budget),
+            attempts: 0,
+        };
+        self.worm_sources.insert(id, (src.index(), channel));
+        self.injectors[src.index()][channel].enqueue(msg);
+        self.counters.messages_generated += 1;
+        id
+    }
+
+    /// Schedules every message of `trace` for injection at its
+    /// recorded time (events already in the past fire immediately).
+    /// Composes with Bernoulli traffic and [`Network::send_message`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event is self-addressed or out of range (checked
+    /// when the event fires).
+    pub fn schedule_trace(&mut self, trace: &cr_traffic::Trace) {
+        // Merge while keeping the queue time-sorted.
+        let mut merged: Vec<cr_traffic::TraceEvent> = self.scheduled.drain(..).collect();
+        merged.extend(trace.events().iter().copied());
+        merged.sort_by_key(|e| e.at);
+        self.scheduled = merged.into();
+    }
+
+    /// Trace events not yet fired.
+    pub fn scheduled_len(&self) -> usize {
+        self.scheduled.len()
+    }
+
+    /// Advances the simulation one cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+
+        self.phase_arrivals(now);
+        self.phase_tokens(now);
+        if let Some(threshold) = self.cfg.path_wide_threshold {
+            self.phase_path_wide(now, threshold);
+        }
+        self.phase_traffic(now);
+        self.phase_injection(now);
+        self.phase_route_and_traverse(now);
+        self.phase_bookkeeping(now);
+
+        self.now.tick();
+    }
+
+    /// Runs for `cycles` cycles (stopping early on deadlock) and
+    /// returns the report.
+    pub fn run(&mut self, cycles: u64) -> SimReport {
+        for _ in 0..cycles {
+            if self.deadlocked {
+                break;
+            }
+            self.step();
+        }
+        self.report()
+    }
+
+    /// Runs until all traffic has drained (sources willing, injectors
+    /// empty, network empty) or `max_cycles` elapse; returns `true` if
+    /// quiescent.
+    pub fn run_until_quiescent(&mut self, max_cycles: u64) -> bool {
+        for _ in 0..max_cycles {
+            if self.deadlocked {
+                return false;
+            }
+            if self.flits_in_flight() == 0
+                && self.scheduled.is_empty()
+                && self
+                    .injectors
+                    .iter()
+                    .flatten()
+                    .all(|i| i.is_drained())
+            {
+                return true;
+            }
+            self.step();
+        }
+        false
+    }
+
+    /// Post-warmup channel utilization: (mean, max) flits per cycle
+    /// per link, over the measurement window so far.
+    pub fn channel_utilization(&self) -> (f64, f64) {
+        let window = self.now.as_u64().saturating_sub(self.cfg.warmup);
+        if window == 0 || self.link_flits.is_empty() {
+            return (0.0, 0.0);
+        }
+        let sum: u64 = self.link_flits.iter().sum();
+        let max: u64 = self.link_flits.iter().copied().max().unwrap_or(0);
+        (
+            sum as f64 / self.link_flits.len() as f64 / window as f64,
+            max as f64 / window as f64,
+        )
+    }
+
+    /// Builds the report for the run so far.
+    pub fn report(&self) -> SimReport {
+        let mut counters = self.counters;
+        for r in &self.routers {
+            counters.escape_allocations += r.counters().escape_allocations;
+            counters.unroutable_headers += r.counters().unroutable_headers;
+            counters.orphan_flits_dropped += r.counters().orphan_flits_dropped;
+            counters.flits_flushed += r.counters().flits_flushed;
+        }
+        for rx in &self.receivers {
+            counters.out_of_order_arrivals += rx.counters().out_of_order_arrivals;
+            counters.duplicates_dropped += rx.counters().duplicates_dropped;
+            counters.partials_discarded += rx.counters().partials_discarded;
+        }
+        let (util_mean, util_max) = self.channel_utilization();
+        SimReport {
+            channel_utilization_mean: util_mean,
+            channel_utilization_max: util_max,
+            cycles: self.now.as_u64(),
+            warmup: self.cfg.warmup,
+            num_nodes: self.topo.num_nodes(),
+            offered_load: self.offered_load,
+            accepted_flits_per_node_cycle: self.throughput.flits_per_node_cycle(self.now),
+            latency: self.latency.stats().clone(),
+            latency_percentiles: (
+                self.latency.percentile(0.50),
+                self.latency.percentile(0.95),
+                self.latency.percentile(0.99),
+            ),
+            latency_histogram: self.latency.histogram().clone(),
+            counters,
+            deadlocked: self.deadlocked,
+            flits_in_flight: self.flits_in_flight(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phases
+    // ------------------------------------------------------------------
+
+    fn phase_arrivals(&mut self, now: Cycle) {
+        for li in 0..self.links.len() {
+            let (dst_node, dst_port) = self.link_head[li];
+            for v in 0..self.links[li].lanes.len() {
+                let vc = VcId::new(v as u8);
+                loop {
+                    match self.links[li].lanes[v].front() {
+                        Some(&(arrive, _)) if arrive <= now => {}
+                        _ => break,
+                    }
+                    // Wormhole channels are stall-holding: a flit
+                    // stays in the channel's pipeline latches while
+                    // the downstream buffer is full (the `link_depth`
+                    // share of the credits covers exactly this
+                    // occupancy).
+                    {
+                        let (_, flit) = self.links[li].lanes[v].front().expect("checked");
+                        let killed = self.killed.contains_key(&flit.worm);
+                        if !killed && self.routers[dst_node].vc_is_full(dst_port, vc) {
+                            break;
+                        }
+                    }
+                    let (_, mut flit) = self.links[li].lanes[v].pop_front().expect("checked");
+                    flit.hops = flit.hops.saturating_add(1);
+
+                // Fault injection: dead links corrupt every flit (the
+                // detectable-failure model); healthy links corrupt at
+                // the transient rate.
+                let link_id = self.link_ids[li];
+                if self.faults.is_dead(link_id) || self.faults.corrupts_flit(&mut self.fault_rng)
+                {
+                    if !flit.corrupted {
+                        self.counters.flits_corrupted += 1;
+                    }
+                    flit.corrupted = true;
+                }
+
+                if self.killed.contains_key(&flit.worm) {
+                    self.counters.flits_dropped_killed += 1;
+                    self.credit_into(dst_node, dst_port, vc);
+                    continue;
+                }
+
+                if flit.corrupted && self.cfg.protocol.detects_faults() {
+                    if self.faults.detects_corruption(&mut self.fault_rng) {
+                        self.counters.flits_dropped_killed += 1;
+                        self.credit_into(dst_node, dst_port, vc);
+                        self.kill_worm_at(now, dst_node, dst_port, vc, flit.worm, KillCause::Fault);
+                        continue;
+                    }
+                    self.counters.detections_missed += 1;
+                }
+
+                    self.routers[dst_node].accept(now, dst_port, vc, flit);
+                    self.last_progress = now;
+                }
+            }
+        }
+    }
+
+    /// Drops `worm`'s flits parked in the channel feeding
+    /// `(node, in_port)`, restoring their credits — teardown of the
+    /// stall-holding link stage.
+    fn purge_link_into(&mut self, node: usize, in_port: PortId, vc: VcId, worm: cr_router::WormId) {
+        let Some((up_node, up_out)) = self.in_upstream[node][in_port.index()] else {
+            return;
+        };
+        let Some(li) = self.out_link[up_node][up_out.index()] else {
+            return;
+        };
+        let lane = &mut self.links[li].lanes[vc.index()];
+        let before = lane.len();
+        lane.retain(|(_, f)| f.worm != worm);
+        let purged = before - lane.len();
+        for _ in 0..purged {
+            self.counters.flits_dropped_killed += 1;
+            self.routers[up_node].add_credit(up_out, vc);
+        }
+    }
+
+    fn phase_tokens(&mut self, now: Cycle) {
+        if self.cfg.ablations.instant_teardown {
+            // Idealized kill wire: complete every teardown walk within
+            // the cycle. Each pass moves every token one hop; walks are
+            // bounded by the longest path, so this terminates.
+            while !self.fwd_tokens.is_empty() || !self.bwd_tokens.is_empty() {
+                self.step_tokens_once(now);
+            }
+            return;
+        }
+        self.step_tokens_once(now);
+    }
+
+    fn step_tokens_once(&mut self, now: Cycle) {
+        // Forward tokens: walk toward the destination.
+        let tokens = std::mem::take(&mut self.fwd_tokens);
+        for t in tokens {
+            crate::network::debug_worm(t.worm, || format!("{now} FWD {} at n{} {} {}", t.worm, t.node, t.port, t.vc));
+            let released = self.flush_and_credit(t.node, t.port, t.vc, t.worm);
+            crate::network::debug_worm(t.worm, || format!("  released {released:?}"));
+            match released {
+                Some(RouteTarget::Link { port, vc }) => {
+                    if let Some((next_node, next_port)) = self.downstream_of(t.node, port) {
+                        self.fwd_tokens.push(Token {
+                            worm: t.worm,
+                            node: next_node,
+                            port: next_port,
+                            vc,
+                        });
+                    }
+                }
+                Some(RouteTarget::Eject { .. }) => {
+                    self.receivers[t.node].discard(t.worm);
+                }
+                None => {}
+            }
+        }
+
+        // Backward tokens: walk toward the source, ending at its
+        // injector.
+        let tokens = std::mem::take(&mut self.bwd_tokens);
+        for t in tokens {
+            crate::network::debug_worm(t.worm, || format!("{now} BWD {} at n{} {} {}", t.worm, t.node, t.port, t.vc));
+            let _ = self.flush_and_credit(t.node, t.port, t.vc, t.worm);
+            self.continue_backward(now, t);
+        }
+    }
+
+    fn phase_path_wide(&mut self, now: Cycle, threshold: u64) {
+        for node in 0..self.routers.len() {
+            let stalled = self.routers[node].stalled_worms(now, threshold);
+            for (port, vc, worm) in stalled {
+                if self.killed.contains_key(&worm) {
+                    continue;
+                }
+                self.counters.kills_path_wide += 1;
+                if let Some(&(sn, sc)) = self.worm_sources.get(&worm.message) {
+                    if self.injectors[sn][sc].is_committed(worm) {
+                        self.counters.kills_committed += 1;
+                    }
+                }
+                self.kill_worm_at(now, node, port, vc, worm, KillCause::PathWide);
+            }
+        }
+    }
+
+    fn phase_traffic(&mut self, now: Cycle) {
+        while let Some(e) = self.scheduled.front() {
+            if e.at > now {
+                break;
+            }
+            let e = self.scheduled.pop_front().expect("checked");
+            self.send_message(e.src, e.dst, e.length);
+        }
+        if self.sources.is_empty() {
+            return;
+        }
+        for n in 0..self.sources.len() {
+            if let Some(req) = self.sources[n].poll() {
+                let src = NodeId::new(n as u32);
+                self.send_message(src, req.dst, req.length as u32);
+                // send_message stamps `created: self.now`, which is
+                // `now` — correct.
+            }
+        }
+        let _ = now;
+    }
+
+    fn phase_injection(&mut self, now: Cycle) {
+        for n in 0..self.routers.len() {
+            for c in 0..self.cfg.inject_channels {
+                let out = self.injectors[n][c].step(now, &mut self.routers[n]);
+                if out.injected_flit {
+                    self.last_progress = now;
+                    if out.injected_pad {
+                        self.counters.pad_flits_injected += 1;
+                    } else {
+                        self.counters.payload_flits_injected += 1;
+                    }
+                }
+                if out.restarted {
+                    self.counters.retransmissions += 1;
+                }
+                if let Some(worm) = out.kill {
+                    self.counters.kills_source_timeout += 1;
+                    let port = self.routers[n].inject_port(c);
+                    self.kill_worm_at(now, n, port, VcId::new(0), worm, KillCause::SourceTimeout);
+                    self.injectors[n][c].on_killed(now, worm);
+                }
+            }
+        }
+    }
+
+    fn phase_route_and_traverse(&mut self, now: Cycle) {
+        {
+            let killed = &self.killed;
+            let is_killed = |w: cr_router::WormId| killed.contains_key(&w);
+            let routers = &mut self.routers;
+            let routing = &*self.routing;
+            let topo = &*self.topo;
+            for r in routers.iter_mut() {
+                r.route_and_allocate(now, routing, topo, &is_killed);
+            }
+        }
+        for n in 0..self.routers.len() {
+            let orphans = self.routers[n].take_orphan_credits();
+            for (port, vc) in orphans {
+                self.credit_into(n, port, vc);
+            }
+        }
+        for n in 0..self.routers.len() {
+            let traversals = {
+                let killed = &self.killed;
+                let is_killed = |w: cr_router::WormId| killed.contains_key(&w);
+                self.routers[n].traverse(now, &is_killed)
+            };
+            for t in traversals {
+                self.last_progress = now;
+                if self.routers[n].port_kind(t.from_port) == PortKind::Node {
+                    self.credit_into(n, t.from_port, t.from_vc);
+                }
+                match t.target {
+                    RouteTarget::Link { port, vc } => {
+                        let li = self.out_link[n][port.index()]
+                            .expect("routing only offers connected ports");
+                        if now.as_u64() >= self.cfg.warmup {
+                            self.link_flits[li] += 1;
+                        }
+                        self.links[li].lanes[vc.index()]
+                            .push_back((now + self.cfg.channel_latency, t.flit));
+                    }
+                    RouteTarget::Eject { .. } => {
+                        if self.killed.contains_key(&t.flit.worm) {
+                            self.counters.flits_dropped_killed += 1;
+                            self.receivers[n].discard(t.flit.worm);
+                            continue;
+                        }
+                        let delivered = self.receivers[n].on_flit(now, t.flit);
+                        for m in delivered {
+                            self.counters.messages_delivered += 1;
+                            self.counters.payload_flits_delivered += u64::from(m.payload_len);
+                            if m.corrupt {
+                                self.counters.corrupt_payload_delivered += 1;
+                            }
+                            self.latency.record(m.created, now);
+                            self.throughput
+                                .record_flits(now, m.payload_len as usize);
+                            if let Some((sn, sc)) = self.worm_sources.remove(&m.id) {
+                                self.injectors[sn][sc].on_delivered(m.id);
+                            }
+                            if self.record_deliveries {
+                                self.delivery_log.push(m);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn phase_bookkeeping(&mut self, now: Cycle) {
+        if now.as_u64().is_multiple_of(256) {
+            let lifetime = self.registry_lifetime;
+            self.killed
+                .retain(|_, t| now.saturating_since(*t) < lifetime);
+            let horizon = Cycle::new(now.as_u64().saturating_sub(4 * lifetime));
+            for rx in &mut self.receivers {
+                rx.prune(horizon);
+            }
+        }
+        if now.saturating_since(self.last_progress) > self.cfg.deadlock_threshold
+            && self.flits_in_flight() > 0
+        {
+            self.deadlocked = true;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Kill machinery
+    // ------------------------------------------------------------------
+
+    fn kill_worm_at(
+        &mut self,
+        now: Cycle,
+        node: usize,
+        port: PortId,
+        vc: VcId,
+        worm: WormId,
+        cause: KillCause,
+    ) {
+        crate::network::debug_worm(worm, || format!("{now} KILL {worm} cause {cause:?} at n{node} {port} {vc}"));
+        self.killed.insert(worm, now);
+        if cause == KillCause::Fault {
+            self.counters.kills_fault += 1;
+        }
+        // Tear down from the kill point toward the destination.
+        let released = self.flush_and_credit(node, port, vc, worm);
+        match released {
+            Some(RouteTarget::Link { port: op, vc: ov }) => {
+                if let Some((next_node, next_port)) = self.downstream_of(node, op) {
+                    self.fwd_tokens.push(Token {
+                        worm,
+                        node: next_node,
+                        port: next_port,
+                        vc: ov,
+                    });
+                }
+            }
+            Some(RouteTarget::Eject { .. }) => self.receivers[node].discard(worm),
+            None => {}
+        }
+        // And from the kill point toward the source (no-op for
+        // source-initiated kills, whose kill point is the injection
+        // FIFO itself).
+        if cause != KillCause::SourceTimeout {
+            let t = Token {
+                worm,
+                node,
+                port,
+                vc,
+            };
+            self.continue_backward(now, t);
+        }
+    }
+
+    /// Moves a backward token one hop toward the source; notifies the
+    /// injector when it gets there (or when the chain has already
+    /// drained behind the worm's tail).
+    fn continue_backward(&mut self, now: Cycle, t: Token) {
+        if self.routers[t.node].port_kind(t.port) == PortKind::Inject {
+            let channel = t.port.index() - self.topo.num_ports(NodeId::new(t.node as u32));
+            self.injectors[t.node][channel].on_killed(now, t.worm);
+            return;
+        }
+        let up = self.in_upstream[t.node][t.port.index()];
+        if let Some((up_node, up_out)) = up {
+            if let Some((ip, iv)) = self.routers[up_node].output_owner(up_out, t.vc) {
+                if self.routers[up_node].worm_of(ip, iv) == Some(t.worm) {
+                    self.bwd_tokens.push(Token {
+                        worm: t.worm,
+                        node: up_node,
+                        port: ip,
+                        vc: iv,
+                    });
+                    return;
+                }
+            }
+        }
+        // The upstream chain has already released (the tail passed):
+        // notify the source directly.
+        crate::network::debug_worm(t.worm, || {
+            let up = self.in_upstream[t.node][t.port.index()];
+            format!("  BWD stop at n{} {} {}: upstream {:?}", t.node, t.port, t.vc, up)
+        });
+        self.notify_source(now, t.worm);
+    }
+
+    fn notify_source(&mut self, now: Cycle, worm: WormId) {
+        if let Some(&(sn, sc)) = self.worm_sources.get(&worm.message) {
+            self.injectors[sn][sc].on_killed(now, worm);
+        }
+    }
+
+    fn flush_and_credit(
+        &mut self,
+        node: usize,
+        port: PortId,
+        vc: VcId,
+        worm: WormId,
+    ) -> Option<RouteTarget> {
+        let res = self.routers[node].flush_worm(port, vc, worm);
+        if self.routers[node].port_kind(port) == PortKind::Node {
+            for _ in 0..res.flushed {
+                self.credit_into(node, port, vc);
+            }
+            // Flits of the worm parked in the feeding channel's
+            // latches go with the buffer contents.
+            self.purge_link_into(node, port, vc, worm);
+        }
+        res.released
+    }
+
+    /// Returns one credit to the router feeding `(node, in_port, vc)`.
+    fn credit_into(&mut self, node: usize, in_port: PortId, vc: VcId) {
+        if let Some((up_node, up_out)) = self.in_upstream[node][in_port.index()] {
+            self.routers[up_node].add_credit(up_out, vc);
+        }
+    }
+
+    fn downstream_of(&self, node: usize, out_port: PortId) -> Option<(usize, PortId)> {
+        let li = self.out_link[node][out_port.index()]?;
+        Some(self.link_head[li])
+    }
+
+}
+
+/// Env-gated per-worm teardown tracing: set `CR_DEBUG_W=m<id>` to log
+/// every kill and token step of that message to stderr. The filter is
+/// read once per process.
+pub(crate) fn debug_worm(worm: WormId, msg: impl Fn() -> String) {
+    static FILTER: std::sync::OnceLock<Option<String>> = std::sync::OnceLock::new();
+    let filter = FILTER.get_or_init(|| std::env::var("CR_DEBUG_W").ok());
+    if let Some(v) = filter {
+        if *v == format!("m{}", worm.message.as_u64()) {
+            eprintln!("{}", msg());
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum KillCause {
+    SourceTimeout,
+    Fault,
+    PathWide,
+}

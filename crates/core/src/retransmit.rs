@@ -1,0 +1,116 @@
+//! Retransmission gap policies (the paper's Fig. 11 comparison).
+
+use cr_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// How long a killed message waits before its retransmission.
+///
+/// The paper compares fixed ("static") gaps against a dynamic scheme —
+/// binary exponential backoff, "of course, quite similar to the binary
+/// exponential backoff used in Ethernet networks" — and finds the
+/// dynamic scheme tracks the best static gap across the whole load
+/// range.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RetransmitScheme {
+    /// Wait exactly `gap` cycles after every kill.
+    StaticGap {
+        /// The fixed gap in cycles.
+        gap: u64,
+    },
+    /// Ethernet-style binary exponential backoff: after the `n`-th kill
+    /// of a message, wait a uniformly random number of `slot`-cycle
+    /// slots in `0..2^min(n, ceiling)` (plus one slot so the gap is
+    /// never zero).
+    ExponentialBackoff {
+        /// Slot duration in cycles.
+        slot: u64,
+        /// Exponent ceiling (Ethernet uses 10).
+        ceiling: u32,
+    },
+}
+
+impl Default for RetransmitScheme {
+    /// The paper's preferred dynamic scheme with a 16-cycle slot.
+    fn default() -> Self {
+        RetransmitScheme::ExponentialBackoff {
+            slot: 16,
+            ceiling: 10,
+        }
+    }
+}
+
+impl RetransmitScheme {
+    /// The gap, in cycles, before retransmission attempt
+    /// `attempt` (1 = first retry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attempt` is zero (attempt 0 is the original
+    /// transmission; it has no gap).
+    pub fn gap(&self, attempt: u32, rng: &mut SimRng) -> u64 {
+        assert!(attempt > 0, "attempt 0 is the original transmission");
+        match *self {
+            RetransmitScheme::StaticGap { gap } => gap,
+            RetransmitScheme::ExponentialBackoff { slot, ceiling } => {
+                let exp = attempt.min(ceiling);
+                let window = 1u64 << exp;
+                let slots = rng.pick_index(window as usize).unwrap_or(0) as u64 + 1;
+                slots * slot
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_gap_is_constant() {
+        let s = RetransmitScheme::StaticGap { gap: 64 };
+        let mut rng = SimRng::from_seed(0);
+        for attempt in 1..10 {
+            assert_eq!(s.gap(attempt, &mut rng), 64);
+        }
+    }
+
+    #[test]
+    fn backoff_grows_with_attempts() {
+        let s = RetransmitScheme::ExponentialBackoff {
+            slot: 8,
+            ceiling: 10,
+        };
+        let mut rng = SimRng::from_seed(5);
+        // Average gap over many draws grows with the attempt number.
+        let avg = |attempt: u32, rng: &mut SimRng| -> f64 {
+            let n = 2000;
+            (0..n).map(|_| s.gap(attempt, rng) as f64).sum::<f64>() / n as f64
+        };
+        let a1 = avg(1, &mut rng);
+        let a4 = avg(4, &mut rng);
+        let a8 = avg(8, &mut rng);
+        assert!(a1 < a4 && a4 < a8, "{a1} {a4} {a8}");
+        // Expected mean of attempt n is slot * (2^n + 1) / 2.
+        assert!((a1 - 8.0 * 1.5).abs() < 1.0, "a1 = {a1}");
+    }
+
+    #[test]
+    fn backoff_is_never_zero_and_bounded() {
+        let s = RetransmitScheme::ExponentialBackoff {
+            slot: 4,
+            ceiling: 3,
+        };
+        let mut rng = SimRng::from_seed(9);
+        for attempt in 1..40 {
+            let g = s.gap(attempt, &mut rng);
+            assert!(g >= 4);
+            assert!(g <= 4 * 8, "ceiling caps the window");
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn attempt_zero_rejected() {
+        RetransmitScheme::default().gap(0, &mut SimRng::from_seed(0));
+    }
+}

@@ -1,0 +1,12 @@
+//! Prints the CR mechanism ablation study. Pass `--quick` or `--tiny`
+//! to shrink the run.
+
+use cr_experiments::{ext_ablation, Scale};
+
+fn main() {
+    let cfg = ext_ablation::Config {
+        scale: Scale::from_args(),
+        ..Default::default()
+    };
+    println!("{}", ext_ablation::run(&cfg));
+}

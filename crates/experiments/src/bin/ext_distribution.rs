@@ -1,0 +1,12 @@
+//! Prints the kill-induced latency-distribution analysis. Pass
+//! `--quick` or `--tiny` to shrink the run.
+
+use cr_experiments::{ext_distribution, Scale};
+
+fn main() {
+    let cfg = ext_distribution::Config {
+        scale: Scale::from_args(),
+        ..Default::default()
+    };
+    println!("{}", ext_distribution::run(&cfg));
+}

@@ -1,0 +1,15 @@
+//! Regenerates the paper artifact implemented by
+//! [`cr_experiments::ext_nonuniform`]. Pass `--quick` or `--tiny` to shrink the
+//! run; default is the paper-scale configuration.
+
+use cr_experiments::{ext_nonuniform, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = ext_nonuniform::Config {
+        scale,
+        ..Default::default()
+    };
+    let results = ext_nonuniform::run(&cfg);
+    println!("{results}");
+}

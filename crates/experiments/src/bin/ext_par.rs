@@ -1,0 +1,12 @@
+//! Prints the DOR / planar-adaptive / CR mesh comparison. Pass
+//! `--quick` or `--tiny` to shrink the run.
+
+use cr_experiments::{ext_par, Scale};
+
+fn main() {
+    let cfg = ext_par::Config {
+        scale: Scale::from_args(),
+        ..Default::default()
+    };
+    println!("{}", ext_par::run(&cfg));
+}

@@ -1,0 +1,15 @@
+//! Regenerates the paper artifact implemented by
+//! [`cr_experiments::fig10`]. Pass `--quick` or `--tiny` to shrink the
+//! run; default is the paper-scale configuration.
+
+use cr_experiments::{fig10, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = fig10::Config {
+        scale,
+        ..Default::default()
+    };
+    let results = fig10::run(&cfg);
+    println!("{results}");
+}

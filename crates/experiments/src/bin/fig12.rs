@@ -1,0 +1,15 @@
+//! Regenerates the paper artifact implemented by
+//! [`cr_experiments::fig12`]. Pass `--quick` or `--tiny` to shrink the
+//! run; default is the paper-scale configuration.
+
+use cr_experiments::{fig12, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = fig12::Config {
+        scale,
+        ..Default::default()
+    };
+    let results = fig12::run(&cfg);
+    println!("{results}");
+}

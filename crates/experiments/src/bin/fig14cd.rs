@@ -1,0 +1,15 @@
+//! Regenerates the paper artifact implemented by
+//! [`cr_experiments::fig14cd`]. Pass `--quick` or `--tiny` to shrink the
+//! run; default is the paper-scale configuration.
+
+use cr_experiments::{fig14cd, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = fig14cd::Config {
+        scale,
+        ..Default::default()
+    };
+    let results = fig14cd::run(&cfg);
+    println!("{results}");
+}

@@ -1,0 +1,15 @@
+//! Regenerates the paper artifact implemented by
+//! [`cr_experiments::fig15`]. Pass `--quick` or `--tiny` to shrink the
+//! run; default is the paper-scale configuration.
+
+use cr_experiments::{fig15, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = fig15::Config {
+        scale,
+        ..Default::default()
+    };
+    let results = fig15::run(&cfg);
+    println!("{results}");
+}

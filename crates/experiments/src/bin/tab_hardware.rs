@@ -1,0 +1,7 @@
+//! Prints the Section 5 hardware-complexity table.
+
+use cr_experiments::tab_hardware;
+
+fn main() {
+    println!("{}", tab_hardware::run(&tab_hardware::Config::default()));
+}

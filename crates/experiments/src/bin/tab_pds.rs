@@ -1,0 +1,15 @@
+//! Regenerates the paper artifact implemented by
+//! [`cr_experiments::tab_pds`]. Pass `--quick` or `--tiny` to shrink the
+//! run; default is the paper-scale configuration.
+
+use cr_experiments::{tab_pds, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    let cfg = tab_pds::Config {
+        scale,
+        ..Default::default()
+    };
+    let results = tab_pds::run(&cfg);
+    println!("{results}");
+}

@@ -1,0 +1,191 @@
+//! Shared experiment plumbing: scales, measurement points, presets.
+
+use cr_core::{NetworkBuilder, SimReport};
+use cr_topology::KAryNCube;
+
+/// How big an experiment run should be.
+///
+/// `Paper` matches the paper's 8×8 torus with long measurement
+/// windows; `Quick` is for interactive runs and Criterion benches;
+/// `Tiny` keeps unit tests fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// 4×4 torus, very short windows (unit tests).
+    Tiny,
+    /// 8×8 torus, short windows (benches, smoke runs).
+    Quick,
+    /// 8×8 torus, paper-length windows.
+    Paper,
+}
+
+impl Scale {
+    /// Torus radix (networks are `radix x radix`).
+    pub fn radix(self) -> usize {
+        match self {
+            Scale::Tiny => 4,
+            Scale::Quick | Scale::Paper => 8,
+        }
+    }
+
+    /// Warmup cycles.
+    pub fn warmup(self) -> u64 {
+        match self {
+            Scale::Tiny => 300,
+            Scale::Quick => 1_000,
+            Scale::Paper => 3_000,
+        }
+    }
+
+    /// Total cycles (warmup included).
+    pub fn cycles(self) -> u64 {
+        match self {
+            Scale::Tiny => 2_000,
+            Scale::Quick => 6_000,
+            Scale::Paper => 23_000,
+        }
+    }
+
+    /// The offered-load sweep (flits/node/cycle) for latency curves.
+    pub fn loads(self) -> Vec<f64> {
+        match self {
+            Scale::Tiny => vec![0.1, 0.3],
+            Scale::Quick => vec![0.1, 0.2, 0.3, 0.4],
+            Scale::Paper => vec![0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4, 0.45],
+        }
+    }
+
+    /// A builder over this scale's torus with its warmup configured.
+    pub fn builder(self) -> NetworkBuilder {
+        let mut b = NetworkBuilder::new(KAryNCube::torus(self.radix(), 2));
+        b.warmup(self.warmup());
+        b
+    }
+
+    /// Parses `--quick` / `--tiny` command-line flags (default:
+    /// `Paper`).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        if args.iter().any(|a| a == "--tiny") {
+            Scale::Tiny
+        } else if args.iter().any(|a| a == "--quick") {
+            Scale::Quick
+        } else {
+            Scale::Paper
+        }
+    }
+}
+
+/// One measured point of a sweep, distilled from a [`SimReport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeasuredPoint {
+    /// Offered load, flits/node/cycle.
+    pub offered: f64,
+    /// Accepted throughput, payload flits/node/cycle.
+    pub accepted: f64,
+    /// Mean message latency in cycles.
+    pub latency: f64,
+    /// 99th-percentile latency in cycles.
+    pub p99: u64,
+    /// Kills of any kind during the window.
+    pub kills: u64,
+    /// Retransmissions.
+    pub retransmissions: u64,
+    /// Messages delivered.
+    pub delivered: u64,
+    /// Fraction of injected flits that were padding.
+    pub pad_overhead: f64,
+    /// `true` if the run deadlocked.
+    pub deadlocked: bool,
+}
+
+impl MeasuredPoint {
+    /// Distils a report into a point at the given offered load.
+    pub fn from_report(report: &SimReport) -> Self {
+        MeasuredPoint {
+            offered: report.offered_load,
+            accepted: report.accepted_flits_per_node_cycle,
+            latency: report.mean_latency(),
+            p99: report.latency_percentiles.2,
+            kills: report.total_kills(),
+            retransmissions: report.counters.retransmissions,
+            delivered: report.counters.messages_delivered,
+            pad_overhead: report.pad_overhead(),
+            deadlocked: report.deadlocked,
+        }
+    }
+}
+
+/// Runs a configured builder at one offered load and distils the
+/// result.
+pub fn measure(builder: &mut NetworkBuilder, scale: Scale) -> MeasuredPoint {
+    let mut net = builder.build();
+    let report = net.run(scale.cycles());
+    MeasuredPoint::from_report(&report)
+}
+
+/// Measures peak accepted throughput: offer a saturating load and
+/// report the accepted flits/node/cycle.
+pub fn saturation_throughput(
+    configure: impl Fn(&mut NetworkBuilder),
+    scale: Scale,
+    pattern: cr_traffic::TrafficPattern,
+    message_len: usize,
+    seed: u64,
+) -> f64 {
+    let mut b = scale.builder();
+    configure(&mut b);
+    b.traffic(
+        pattern,
+        cr_traffic::LengthDistribution::Fixed(message_len),
+        0.95,
+    )
+    .seed(seed);
+    let mut net = b.build();
+    let report = net.run(scale.cycles());
+    report.accepted_flits_per_node_cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_core::{ProtocolKind, RoutingKind};
+    use cr_traffic::{LengthDistribution, TrafficPattern};
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Tiny.cycles() < Scale::Quick.cycles());
+        assert!(Scale::Quick.cycles() < Scale::Paper.cycles());
+        assert!(Scale::Tiny.loads().len() <= Scale::Paper.loads().len());
+    }
+
+    #[test]
+    fn measure_produces_sane_point() {
+        let scale = Scale::Tiny;
+        let mut b = scale.builder();
+        b.routing(RoutingKind::Adaptive { vcs: 1 })
+            .protocol(ProtocolKind::Cr)
+            .traffic(TrafficPattern::Uniform, LengthDistribution::Fixed(8), 0.2)
+            .seed(1);
+        let p = measure(&mut b, scale);
+        assert!(!p.deadlocked);
+        assert!(p.delivered > 50);
+        assert!(p.latency > 5.0);
+        assert!(p.accepted > 0.05);
+        assert_eq!(p.offered, 0.2);
+    }
+
+    #[test]
+    fn saturation_is_below_offered() {
+        let sat = saturation_throughput(
+            |b| {
+                b.routing(RoutingKind::Adaptive { vcs: 1 })
+                    .protocol(ProtocolKind::Cr);
+            },
+            Scale::Tiny,
+            TrafficPattern::Uniform,
+            8,
+            2,
+        );
+        assert!(sat > 0.05 && sat < 0.95, "sat = {sat}");
+    }
+}

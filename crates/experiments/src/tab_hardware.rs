@@ -1,0 +1,213 @@
+//! **Hardware-complexity table (Section 5)** — analytic estimates of
+//! the interface hardware CR and FCR require, supporting the paper's
+//! claim that "the hardware for CR and FCR networks is modest" and
+//! "much simpler than that found in the Meiko CS-2 and perhaps
+//! comparable to that found in the Intel Paragon and Thinking Machines
+//! CM-5".
+//!
+//! The estimates follow the paper's Section 5 decomposition:
+//!
+//! * the **injector** needs a flit counter, a stall timer, the `I_min`
+//!   calculation ("a few adders and a distance calculator that is also
+//!   required in any other network interface"), padding logic, and a
+//!   backoff timer;
+//! * the **receiver** needs PAD/kill interpretation and per-source
+//!   sequencing;
+//! * the **router is completely standard** — CR adds *nothing* to the
+//!   switch, which is the point: deadlock handling lives at the edge.
+
+use crate::table::Table;
+use cr_core::NetworkConfig;
+use cr_topology::Topology;
+use std::fmt;
+
+/// Analytic hardware estimate for one network configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HardwareEstimate {
+    /// Bits of the injection flit counter (counts to the largest
+    /// padded worm).
+    pub flit_counter_bits: u32,
+    /// Bits of the stall timer (counts to the timeout).
+    pub stall_timer_bits: u32,
+    /// Bits of the `I_min` register/comparator.
+    pub i_min_bits: u32,
+    /// Adders in the `I_min` calculation (distance × per-hop storage +
+    /// interface depth; per-hop storage is a small constant multiply).
+    pub i_min_adders: u32,
+    /// Bits of the exponential-backoff timer (counts the largest gap).
+    pub backoff_timer_bits: u32,
+    /// Source-side message buffer, in flits, that must be retained for
+    /// retransmission (the padded worm; FCR holds it until the
+    /// tail-acceptance implicit acknowledgement).
+    pub retransmit_buffer_flits: u32,
+    /// Receiver-side sequence-counter bits per source (order
+    /// preservation window).
+    pub receiver_seq_bits: u32,
+    /// Extra virtual channels the *router* must implement beyond the
+    /// single channel adaptive CR needs (0 for CR — the headline).
+    pub extra_router_vcs: u32,
+}
+
+impl HardwareEstimate {
+    /// Total interface state in bits (counters + comparators; the
+    /// retransmit buffer is counted separately since it is plain RAM).
+    pub fn control_bits(&self) -> u32 {
+        self.flit_counter_bits
+            + self.stall_timer_bits
+            + self.i_min_bits
+            + self.backoff_timer_bits
+            + self.receiver_seq_bits
+    }
+}
+
+/// Computes the estimate for a configuration on `topo`, with messages
+/// up to `max_message_flits` and the given timeout.
+pub fn estimate(
+    topo: &dyn Topology,
+    cfg: &NetworkConfig,
+    max_message_flits: usize,
+    timeout: u64,
+) -> HardwareEstimate {
+    let bits = |v: u64| 64 - v.max(1).leading_zeros();
+    let i_min_max = cfg.i_min(topo.diameter() + cfg.routing.misroute_budget() as usize) as u64;
+    let worm_max = (max_message_flits as u64).max(i_min_max);
+    // Ethernet-style backoff tops out at slot * 2^10.
+    let backoff_max = 16u64 << 10;
+    HardwareEstimate {
+        flit_counter_bits: bits(worm_max),
+        stall_timer_bits: bits(timeout),
+        i_min_bits: bits(i_min_max),
+        // distance (one add per dimension from coordinate deltas) +
+        // one shift-add multiply by (B + d_chan) + one add of d_inj.
+        i_min_adders: 2 + 2,
+        backoff_timer_bits: bits(backoff_max),
+        retransmit_buffer_flits: worm_max as u32,
+        receiver_seq_bits: 16, // generous sequence window per source
+        extra_router_vcs: 0,   // CR's router is a plain wormhole router
+    }
+}
+
+/// Parameters for the hardware table.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Torus radix values to tabulate (network size sweep).
+    pub radices: Vec<usize>,
+    /// Largest message the interface supports, in flits.
+    pub max_message_flits: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            radices: vec![4, 8, 16],
+            max_message_flits: 64,
+        }
+    }
+}
+
+/// One network-size row.
+#[derive(Debug, Clone, Copy)]
+pub struct Row {
+    /// Torus radix (network is radix × radix).
+    pub radix: usize,
+    /// The estimate.
+    pub estimate: HardwareEstimate,
+    /// For contrast: virtual channels a torus DOR router needs for
+    /// deadlock freedom (2), and Duato's protocol (3).
+    pub dor_router_vcs: u32,
+    /// Duato's protocol's VC requirement.
+    pub duato_router_vcs: u32,
+}
+
+/// Hardware-table results.
+#[derive(Debug, Clone)]
+pub struct Results {
+    /// All rows.
+    pub rows: Vec<Row>,
+}
+
+/// Builds the table.
+pub fn run(cfg: &Config) -> Results {
+    let rows = cfg
+        .radices
+        .iter()
+        .map(|&radix| {
+            let topo = cr_topology::KAryNCube::torus(radix, 2);
+            let net_cfg = NetworkConfig::default();
+            let est = estimate(&topo, &net_cfg, cfg.max_message_flits, 16 * 4);
+            Row {
+                radix,
+                estimate: est,
+                dor_router_vcs: 2,
+                duato_router_vcs: 3,
+            }
+        })
+        .collect();
+    Results { rows }
+}
+
+impl fmt::Display for Results {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut t = Table::new(
+            "Hardware complexity (Section 5) — CR interface state per node",
+            &[
+                "torus",
+                "ctl bits",
+                "retx buf (flits)",
+                "I_min adders",
+                "CR router VCs",
+                "DOR router VCs",
+                "Duato router VCs",
+            ],
+        );
+        for r in &self.rows {
+            t.row_owned(vec![
+                format!("{0}x{0}", r.radix),
+                r.estimate.control_bits().to_string(),
+                r.estimate.retransmit_buffer_flits.to_string(),
+                r.estimate.i_min_adders.to_string(),
+                (1 + r.estimate.extra_router_vcs).to_string(),
+                r.dor_router_vcs.to_string(),
+                r.duato_router_vcs.to_string(),
+            ]);
+        }
+        t.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_topology::KAryNCube;
+
+    #[test]
+    fn estimates_are_modest_and_scale_logarithmically() {
+        let res = run(&Config::default());
+        assert_eq!(res.rows.len(), 3);
+        for r in &res.rows {
+            // "Modest": well under 100 bits of control state.
+            assert!(
+                r.estimate.control_bits() < 100,
+                "control bits {} at radix {}",
+                r.estimate.control_bits(),
+                r.radix
+            );
+            assert_eq!(r.estimate.extra_router_vcs, 0, "CR router is standard");
+        }
+        // Quadrupling the network adds only a few counter bits.
+        let small = res.rows[0].estimate.control_bits();
+        let large = res.rows[2].estimate.control_bits();
+        assert!(large - small <= 8, "growth {small} -> {large}");
+        assert!(res.to_string().contains("Hardware"));
+    }
+
+    #[test]
+    fn i_min_register_covers_the_diameter() {
+        let topo = KAryNCube::torus(8, 2);
+        let cfg = NetworkConfig::default();
+        let est = estimate(&topo, &cfg, 64, 64);
+        // diameter 8: I_min = 2 + 8*3 = 26 -> 5 bits.
+        assert_eq!(est.i_min_bits, 5);
+        assert_eq!(est.retransmit_buffer_flits, 64);
+    }
+}

@@ -1,0 +1,179 @@
+//! Plain-text table rendering for experiment output.
+
+use std::fmt;
+
+/// A simple aligned text table with a title, also exportable as CSV.
+///
+/// # Examples
+///
+/// ```
+/// use cr_experiments::Table;
+///
+/// let mut t = Table::new("demo", &["load", "latency"]);
+/// t.row(&["0.10", "23.4"]);
+/// t.row(&["0.20", "29.1"]);
+/// let text = t.to_string();
+/// assert!(text.contains("load"));
+/// assert!(t.to_csv().starts_with("load,latency"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `headers` is empty.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        assert!(!headers.is_empty(), "a table needs columns");
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends one row of already-owned cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders as comma-separated values (header first, no title).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (w, c) in widths.iter_mut().zip(r) {
+                *w = (*w).max(c.len());
+            }
+        }
+        writeln!(f, "== {} ==", self.title)?;
+        let render = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut first = true;
+            for (c, w) in cells.iter().zip(&widths) {
+                if !first {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{c:>w$}", w = w)?;
+                first = false;
+            }
+            writeln!(f)
+        };
+        render(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        writeln!(f, "{}", "-".repeat(total))?;
+        for r in &self.rows {
+            render(f, r)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a latency percentile, rendering the histogram's overflow
+/// sentinel as an open bound.
+pub fn fmt_p(v: u64) -> String {
+    if v == u64::MAX {
+        ">4096".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+/// Formats a float with sensible experiment precision.
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("x", &["a", "long-header"]);
+        t.row(&["1", "2"]);
+        let s = t.to_string();
+        assert!(s.contains("== x =="));
+        assert!(s.contains("long-header"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row_owned(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_arity_rejected() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(&["only-one"]);
+    }
+
+    #[test]
+    fn percentile_formatting() {
+        assert_eq!(fmt_p(12), "12");
+        assert_eq!(fmt_p(u64::MAX), ">4096");
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(0.1234), "0.123");
+        assert_eq!(fmt_f(23.46), "23.5");
+        assert_eq!(fmt_f(1234.5), "1234");
+    }
+}

@@ -1,0 +1,378 @@
+//! Fault models for the Compressionless Routing reproduction.
+//!
+//! The paper's fault-tolerance evaluation (Section 6.2) injects
+//! **transient faults** — individual flits corrupted in flight, at a
+//! configurable rate per flit-hop — and **permanent faults** — channels
+//! that stop working altogether. This crate provides both behind a
+//! single [`FaultModel`] queried by the router on every flit-hop.
+//!
+//! The substitution for real hardware checksums (documented in
+//! DESIGN.md): corruption is a boolean flag on the flit, and detection
+//! happens at the next router with a configurable *miss rate*
+//! (default 0, i.e. a perfect error-detecting code). FCR's nonstop
+//! fault-tolerance guarantee holds exactly when the miss rate is zero,
+//! and the test-suite asserts precisely that.
+//!
+//! # Examples
+//!
+//! ```
+//! use cr_faults::FaultModel;
+//! use cr_sim::{LinkId, SimRng};
+//!
+//! let mut faults = FaultModel::new();
+//! faults.set_transient_rate(1e-3);
+//! faults.kill_link(LinkId::new(3));
+//!
+//! let mut rng = SimRng::from_seed(1);
+//! assert!(faults.is_dead(LinkId::new(3)));
+//! assert!(!faults.is_dead(LinkId::new(4)));
+//! let _hit = faults.corrupts_flit(&mut rng);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cr_sim::{LinkId, NodeId, SimRng};
+use cr_topology::Topology;
+use std::collections::HashSet;
+
+/// Fault injection model: permanent dead links plus a transient
+/// per-flit-hop corruption process.
+///
+/// The model is deliberately memoryless (each flit-hop is an independent
+/// Bernoulli trial) — the same assumption the paper makes when sweeping
+/// "a range of fault rates".
+#[derive(Debug, Clone, Default)]
+pub struct FaultModel {
+    transient_rate: f64,
+    detection_miss_rate: f64,
+    dead_links: HashSet<LinkId>,
+}
+
+impl FaultModel {
+    /// Creates a fault-free model (no dead links, zero transient rate).
+    pub fn new() -> Self {
+        FaultModel::default()
+    }
+
+    /// Sets the probability that any given flit is corrupted while
+    /// traversing any given (healthy) link.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `[0.0, 1.0]`.
+    pub fn set_transient_rate(&mut self, rate: f64) -> &mut Self {
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} out of range");
+        self.transient_rate = rate;
+        self
+    }
+
+    /// Returns the transient corruption rate.
+    pub fn transient_rate(&self) -> f64 {
+        self.transient_rate
+    }
+
+    /// Sets the probability that a corrupted flit escapes detection at
+    /// the next router.
+    ///
+    /// The default of `0.0` models a perfect error-detecting code;
+    /// raising it deliberately breaks FCR's integrity guarantee, which
+    /// the test-suite uses as a negative control.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `[0.0, 1.0]`.
+    pub fn set_detection_miss_rate(&mut self, rate: f64) -> &mut Self {
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} out of range");
+        self.detection_miss_rate = rate;
+        self
+    }
+
+    /// Returns the detection miss rate.
+    pub fn detection_miss_rate(&self) -> f64 {
+        self.detection_miss_rate
+    }
+
+    /// Marks a link permanently dead. Flits routed onto a dead link are
+    /// lost; the upstream worm stalls and recovery is up to the routing
+    /// protocol.
+    pub fn kill_link(&mut self, link: LinkId) -> &mut Self {
+        self.dead_links.insert(link);
+        self
+    }
+
+    /// Marks every channel touching `node` dead, simulating a failed
+    /// router.
+    pub fn kill_node(&mut self, topology: &dyn Topology, node: NodeId) -> &mut Self {
+        for l in topology.links() {
+            if l.src == node || l.dst == node {
+                self.dead_links.insert(l.id);
+            }
+        }
+        self
+    }
+
+    /// Returns `true` if `link` is permanently dead.
+    pub fn is_dead(&self, link: LinkId) -> bool {
+        self.dead_links.contains(&link)
+    }
+
+    /// Number of permanently dead links.
+    pub fn num_dead_links(&self) -> usize {
+        self.dead_links.len()
+    }
+
+    /// Iterates over the dead links.
+    pub fn dead_links(&self) -> impl Iterator<Item = LinkId> + '_ {
+        self.dead_links.iter().copied()
+    }
+
+    /// Returns `true` if there are no permanent faults and the
+    /// transient rate is zero.
+    pub fn is_fault_free(&self) -> bool {
+        self.dead_links.is_empty() && self.transient_rate == 0.0
+    }
+
+    /// Samples whether a flit traversing a healthy link is corrupted.
+    pub fn corrupts_flit(&self, rng: &mut SimRng) -> bool {
+        self.transient_rate > 0.0 && rng.chance(self.transient_rate)
+    }
+
+    /// Samples whether a router *detects* a corrupted flit.
+    pub fn detects_corruption(&self, rng: &mut SimRng) -> bool {
+        self.detection_miss_rate == 0.0 || !rng.chance(self.detection_miss_rate)
+    }
+
+    /// Kills `count` random links while keeping the network strongly
+    /// connected (so every message still has some path).
+    ///
+    /// Candidate links are drawn uniformly; a candidate whose removal
+    /// would disconnect the network is rejected and redrawn.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError::TooManyFaults`] if no assignment of
+    /// `count` dead links keeps the network connected after a bounded
+    /// number of attempts.
+    pub fn kill_random_links_connected(
+        &mut self,
+        topology: &dyn Topology,
+        count: usize,
+        rng: &mut SimRng,
+    ) -> Result<Vec<LinkId>, FaultPlanError> {
+        let all = topology.links();
+        let mut killed = Vec::with_capacity(count);
+        let mut attempts = 0usize;
+        let max_attempts = 100 * count.max(1);
+        while killed.len() < count {
+            attempts += 1;
+            if attempts > max_attempts {
+                // Roll back everything we added in this call.
+                for l in &killed {
+                    self.dead_links.remove(l);
+                }
+                return Err(FaultPlanError::TooManyFaults { requested: count });
+            }
+            let candidate = all[rng.pick_index(all.len()).expect("network has links")].id;
+            if self.dead_links.contains(&candidate) {
+                continue;
+            }
+            self.dead_links.insert(candidate);
+            if strongly_connected(topology, &self.dead_links) {
+                killed.push(candidate);
+            } else {
+                self.dead_links.remove(&candidate);
+            }
+        }
+        Ok(killed)
+    }
+}
+
+/// Error building a fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// The requested number of dead links could not be placed without
+    /// disconnecting the network.
+    TooManyFaults {
+        /// How many dead links were requested.
+        requested: usize,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::TooManyFaults { requested } => write!(
+                f,
+                "could not place {requested} dead links without disconnecting the network"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
+
+/// Returns `true` if the network remains strongly connected when the
+/// links in `dead` are removed.
+pub fn strongly_connected(topology: &dyn Topology, dead: &HashSet<LinkId>) -> bool {
+    let n = topology.num_nodes();
+    if n == 0 {
+        return true;
+    }
+    // Build the surviving adjacency once.
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut radj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for l in topology.links() {
+        if !dead.contains(&l.id) {
+            adj[l.src.index()].push(l.dst.index());
+            radj[l.dst.index()].push(l.src.index());
+        }
+    }
+    // Strong connectivity <=> node 0 reaches everyone in both the graph
+    // and its reverse.
+    let full_bfs = |g: &Vec<Vec<usize>>| {
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &g[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == n
+    };
+    full_bfs(&adj) && full_bfs(&radj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_topology::KAryNCube;
+
+    #[test]
+    fn default_is_fault_free() {
+        let f = FaultModel::new();
+        assert!(f.is_fault_free());
+        assert_eq!(f.num_dead_links(), 0);
+        let mut rng = SimRng::from_seed(0);
+        assert!(!f.corrupts_flit(&mut rng));
+        assert!(f.detects_corruption(&mut rng));
+    }
+
+    #[test]
+    fn dead_links_tracked() {
+        let mut f = FaultModel::new();
+        f.kill_link(LinkId::new(5)).kill_link(LinkId::new(9));
+        assert!(f.is_dead(LinkId::new(5)));
+        assert!(!f.is_dead(LinkId::new(6)));
+        assert_eq!(f.num_dead_links(), 2);
+        assert!(!f.is_fault_free());
+        let mut dead: Vec<LinkId> = f.dead_links().collect();
+        dead.sort();
+        assert_eq!(dead, vec![LinkId::new(5), LinkId::new(9)]);
+    }
+
+    #[test]
+    fn kill_node_severs_all_its_channels() {
+        let t = KAryNCube::torus(4, 2);
+        let mut f = FaultModel::new();
+        f.kill_node(&t, NodeId::new(0));
+        // A torus node has 4 outgoing and 4 incoming channels.
+        assert_eq!(f.num_dead_links(), 8);
+        // Network without node 0's channels is still connected among
+        // the others... but strongly_connected checks node 0 too, so it
+        // reports false.
+        assert!(!strongly_connected(&t, &f.dead_links.clone()));
+    }
+
+    #[test]
+    fn transient_rate_calibration() {
+        let mut f = FaultModel::new();
+        f.set_transient_rate(0.1);
+        let mut rng = SimRng::from_seed(42);
+        let n = 50_000;
+        let hits = (0..n).filter(|_| f.corrupts_flit(&mut rng)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.1).abs() < 0.01, "frac = {frac}");
+    }
+
+    #[test]
+    fn detection_miss_rate_calibration() {
+        let mut f = FaultModel::new();
+        f.set_detection_miss_rate(0.5);
+        let mut rng = SimRng::from_seed(43);
+        let n = 20_000;
+        let detected = (0..n).filter(|_| f.detects_corruption(&mut rng)).count();
+        let frac = detected as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_rate_rejected() {
+        FaultModel::new().set_transient_rate(1.5);
+    }
+
+    #[test]
+    fn connectivity_detects_cuts() {
+        // A 2-node ring: killing one direction breaks strong
+        // connectivity.
+        let t = KAryNCube::torus(2, 1);
+        assert!(strongly_connected(&t, &HashSet::new()));
+        let l = t.links()[0].id;
+        let dead: HashSet<LinkId> = [l].into_iter().collect();
+        // radix-2 torus has parallel wrap channels, so one cut may not
+        // disconnect; kill all channels leaving node 0 instead.
+        let mut all_out: HashSet<LinkId> = HashSet::new();
+        for link in t.links() {
+            if link.src == NodeId::new(0) {
+                all_out.insert(link.id);
+            }
+        }
+        assert!(!strongly_connected(&t, &all_out));
+        let _ = dead;
+    }
+
+    #[test]
+    fn random_kill_preserves_connectivity() {
+        let t = KAryNCube::torus(4, 2);
+        let mut f = FaultModel::new();
+        let mut rng = SimRng::from_seed(7);
+        let killed = f.kill_random_links_connected(&t, 10, &mut rng).unwrap();
+        assert_eq!(killed.len(), 10);
+        assert_eq!(f.num_dead_links(), 10);
+        assert!(strongly_connected(&t, &f.dead_links.clone()));
+    }
+
+    #[test]
+    fn random_kill_rejects_impossible_requests() {
+        // A 3-node unidirectional-ring-like graph cannot lose any link.
+        use cr_topology::GraphTopology;
+        let g = GraphTopology::from_edges(3, &[(0, 1), (1, 2), (2, 0)]).unwrap();
+        let mut f = FaultModel::new();
+        let mut rng = SimRng::from_seed(1);
+        let err = f.kill_random_links_connected(&g, 1, &mut rng).unwrap_err();
+        assert_eq!(err, FaultPlanError::TooManyFaults { requested: 1 });
+        // Roll-back happened.
+        assert_eq!(f.num_dead_links(), 0);
+    }
+
+    #[test]
+    fn random_kill_is_deterministic_per_seed() {
+        let t = KAryNCube::torus(4, 2);
+        let mut f1 = FaultModel::new();
+        let mut f2 = FaultModel::new();
+        let k1 = f1
+            .kill_random_links_connected(&t, 5, &mut SimRng::from_seed(99))
+            .unwrap();
+        let k2 = f2
+            .kill_random_links_connected(&t, 5, &mut SimRng::from_seed(99))
+            .unwrap();
+        assert_eq!(k1, k2);
+    }
+}

@@ -1,0 +1,144 @@
+//! Batch-means confidence intervals for steady-state outputs.
+
+use crate::OnlineStats;
+
+/// Batch-means estimator: groups a correlated observation stream into
+/// fixed-size batches whose means are approximately independent, then
+/// reports a confidence interval over the batch means.
+///
+/// Simulation latencies are heavily autocorrelated (messages share
+/// congestion epochs); a naive standard error would be far too
+/// optimistic. Batch means is the textbook fix.
+///
+/// # Examples
+///
+/// ```
+/// use cr_metrics::BatchMeans;
+///
+/// let mut bm = BatchMeans::new(100);
+/// for i in 0..1000 {
+///     bm.push(10.0 + (i % 7) as f64);
+/// }
+/// assert_eq!(bm.num_batches(), 10);
+/// let (lo, hi) = bm.confidence_interval_95();
+/// assert!(lo <= bm.mean() && bm.mean() <= hi);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchMeans {
+    batch_size: usize,
+    current_sum: f64,
+    current_count: usize,
+    batch_stats: OnlineStats,
+    overall: OnlineStats,
+}
+
+impl BatchMeans {
+    /// Creates an estimator with the given batch size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size` is zero.
+    pub fn new(batch_size: usize) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        BatchMeans {
+            batch_size,
+            current_sum: 0.0,
+            current_count: 0,
+            batch_stats: OnlineStats::new(),
+            overall: OnlineStats::new(),
+        }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.overall.push(x);
+        self.current_sum += x;
+        self.current_count += 1;
+        if self.current_count == self.batch_size {
+            self.batch_stats.push(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_count = 0;
+        }
+    }
+
+    /// Number of completed batches.
+    pub fn num_batches(&self) -> u64 {
+        self.batch_stats.count()
+    }
+
+    /// Overall mean of all observations (including any partial batch).
+    pub fn mean(&self) -> f64 {
+        self.overall.mean()
+    }
+
+    /// Standard error of the mean estimated from batch means; `0.0`
+    /// with fewer than two completed batches.
+    pub fn standard_error(&self) -> f64 {
+        let b = self.batch_stats.count();
+        if b < 2 {
+            return 0.0;
+        }
+        self.batch_stats.std_dev() / (b as f64).sqrt()
+    }
+
+    /// Approximate 95 % confidence interval for the steady-state mean
+    /// (normal critical value; fine for ≥ 10 batches).
+    pub fn confidence_interval_95(&self) -> (f64, f64) {
+        let half = 1.96 * self.standard_error();
+        let m = self.batch_stats.mean();
+        (m - half, m + half)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_complete_at_size() {
+        let mut bm = BatchMeans::new(3);
+        bm.push(1.0);
+        bm.push(2.0);
+        assert_eq!(bm.num_batches(), 0);
+        bm.push(3.0);
+        assert_eq!(bm.num_batches(), 1);
+        assert_eq!(bm.mean(), 2.0);
+    }
+
+    #[test]
+    fn constant_stream_has_zero_error() {
+        let mut bm = BatchMeans::new(10);
+        for _ in 0..100 {
+            bm.push(5.0);
+        }
+        assert_eq!(bm.standard_error(), 0.0);
+        let (lo, hi) = bm.confidence_interval_95();
+        assert_eq!(lo, 5.0);
+        assert_eq!(hi, 5.0);
+    }
+
+    #[test]
+    fn interval_contains_true_mean_for_iid_noise() {
+        // Deterministic pseudo-noise around 100.
+        let mut bm = BatchMeans::new(50);
+        let mut s = 12345u64;
+        for _ in 0..5000 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let noise = ((s >> 33) % 1000) as f64 / 1000.0 - 0.5;
+            bm.push(100.0 + noise);
+        }
+        let (lo, hi) = bm.confidence_interval_95();
+        assert!(lo < 100.0 + 0.1 && hi > 100.0 - 0.1, "({lo}, {hi})");
+        assert!(bm.standard_error() > 0.0);
+    }
+
+    #[test]
+    fn few_batches_yield_zero_error() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..15 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.num_batches(), 1);
+        assert_eq!(bm.standard_error(), 0.0);
+    }
+}

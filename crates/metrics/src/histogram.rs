@@ -1,0 +1,184 @@
+//! Fixed-width-bin histograms with percentile queries.
+
+use serde::{Deserialize, Serialize};
+
+/// A histogram over non-negative integer observations (cycle counts).
+///
+/// Values are binned with a fixed width; values past the last bin land
+/// in an overflow bin. Latency-distribution discussions in the paper
+/// ("repeated kills can give some messages much larger latencies,
+/// increasing the variance of message latency") are quantified with
+/// this type's percentiles.
+///
+/// # Examples
+///
+/// ```
+/// use cr_metrics::Histogram;
+///
+/// let mut h = Histogram::new(10, 10); // 10 bins of width 10, covers 0..100
+/// for v in [1, 5, 12, 33, 33, 95, 200] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 7);
+/// assert_eq!(h.overflow(), 1);
+/// assert!(h.percentile(0.5) <= 40);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    bin_width: u64,
+    bins: Vec<u64>,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `num_bins` bins of width `bin_width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_width` or `num_bins` is zero.
+    pub fn new(num_bins: usize, bin_width: u64) -> Self {
+        assert!(num_bins > 0, "need at least one bin");
+        assert!(bin_width > 0, "bin width must be positive");
+        Histogram {
+            bin_width,
+            bins: vec![0; num_bins],
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        let idx = (value / self.bin_width) as usize;
+        if idx < self.bins.len() {
+            self.bins[idx] += 1;
+        } else {
+            self.overflow += 1;
+        }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations past the last bin.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// The per-bin counts, in bin order.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Upper edge (exclusive) of bin `i`.
+    pub fn bin_upper_edge(&self, i: usize) -> u64 {
+        (i as u64 + 1) * self.bin_width
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`): the upper edge of the
+    /// first bin at which the cumulative count reaches `q * count`.
+    /// Returns `u64::MAX` if the quantile falls in the overflow bin,
+    /// and `0` if the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not in `[0.0, 1.0]`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0u64;
+        for (i, &b) in self.bins.iter().enumerate() {
+            cum += b;
+            if cum >= target {
+                return self.bin_upper_edge(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Merges another histogram into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different shapes.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bin_width, other.bin_width, "bin width mismatch");
+        assert_eq!(self.bins.len(), other.bins.len(), "bin count mismatch");
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binning_boundaries() {
+        let mut h = Histogram::new(4, 10);
+        h.record(0);
+        h.record(9);
+        h.record(10); // second bin
+        h.record(39); // last bin
+        h.record(40); // overflow
+        assert_eq!(h.bins(), &[2, 1, 0, 1]);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 5);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut h = Histogram::new(100, 1);
+        for v in 0..100 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 1); // first non-empty bin edge
+        assert_eq!(h.percentile(0.5), 50);
+        assert_eq!(h.percentile(1.0), 100);
+    }
+
+    #[test]
+    fn percentile_in_overflow() {
+        let mut h = Histogram::new(2, 1);
+        h.record(100);
+        assert_eq!(h.percentile(0.5), u64::MAX);
+    }
+
+    #[test]
+    fn empty_percentile_is_zero() {
+        let h = Histogram::new(2, 1);
+        assert_eq!(h.percentile(0.9), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new(3, 5);
+        let mut b = Histogram::new(3, 5);
+        a.record(1);
+        b.record(1);
+        b.record(14);
+        b.record(99);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.bins(), &[2, 0, 1]);
+        assert_eq!(a.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_shape_mismatch_panics() {
+        let mut a = Histogram::new(3, 5);
+        let b = Histogram::new(4, 5);
+        a.merge(&b);
+    }
+}

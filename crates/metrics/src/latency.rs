@@ -1,0 +1,139 @@
+//! Warmup-aware message-latency collection.
+
+use crate::{Histogram, OnlineStats};
+use cr_sim::Cycle;
+
+/// Records message latencies, ignoring messages *created* during the
+/// warmup period.
+///
+/// Filtering on creation time (not delivery time) avoids the classic
+/// bias where only fast messages from the warmup era sneak into the
+/// measurement window.
+///
+/// # Examples
+///
+/// ```
+/// use cr_metrics::LatencyRecorder;
+/// use cr_sim::Cycle;
+///
+/// let mut r = LatencyRecorder::new(Cycle::new(100));
+/// r.record(Cycle::new(50), Cycle::new(500));  // created in warmup: ignored
+/// r.record(Cycle::new(150), Cycle::new(170));
+/// assert_eq!(r.count(), 1);
+/// assert_eq!(r.mean(), 20.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LatencyRecorder {
+    warmup_end: Cycle,
+    stats: OnlineStats,
+    histogram: Histogram,
+}
+
+impl LatencyRecorder {
+    /// Default histogram shape: 512 bins of 8 cycles covers latencies
+    /// up to 4096 cycles before overflowing.
+    const BINS: usize = 512;
+    const BIN_WIDTH: u64 = 8;
+
+    /// Creates a recorder that ignores messages created before
+    /// `warmup_end`.
+    pub fn new(warmup_end: Cycle) -> Self {
+        LatencyRecorder {
+            warmup_end,
+            stats: OnlineStats::new(),
+            histogram: Histogram::new(Self::BINS, Self::BIN_WIDTH),
+        }
+    }
+
+    /// Records the delivery of a message created at `created` and
+    /// delivered at `delivered`. Warmup-era messages are ignored.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `delivered < created`.
+    pub fn record(&mut self, created: Cycle, delivered: Cycle) {
+        debug_assert!(delivered >= created, "delivery precedes creation");
+        if created < self.warmup_end {
+            return;
+        }
+        let latency = delivered - created;
+        self.stats.push(latency as f64);
+        self.histogram.record(latency);
+    }
+
+    /// Number of measured (post-warmup) messages.
+    pub fn count(&self) -> u64 {
+        self.stats.count()
+    }
+
+    /// Mean latency in cycles.
+    pub fn mean(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Sample standard deviation of latency.
+    pub fn std_dev(&self) -> f64 {
+        self.stats.std_dev()
+    }
+
+    /// Largest observed latency.
+    pub fn max(&self) -> f64 {
+        self.stats.max()
+    }
+
+    /// Approximate latency percentile (see [`Histogram::percentile`]).
+    pub fn percentile(&self, q: f64) -> u64 {
+        self.histogram.percentile(q)
+    }
+
+    /// The underlying summary statistics.
+    pub fn stats(&self) -> &OnlineStats {
+        &self.stats
+    }
+
+    /// The underlying histogram.
+    pub fn histogram(&self) -> &Histogram {
+        &self.histogram
+    }
+
+    /// End of the warmup period.
+    pub fn warmup_end(&self) -> Cycle {
+        self.warmup_end
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_filtering_uses_creation_time() {
+        let mut r = LatencyRecorder::new(Cycle::new(1000));
+        // Created pre-warmup, delivered post-warmup: still ignored.
+        r.record(Cycle::new(999), Cycle::new(5000));
+        assert_eq!(r.count(), 0);
+        // Created exactly at warmup end: counted.
+        r.record(Cycle::new(1000), Cycle::new(1010));
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.mean(), 10.0);
+    }
+
+    #[test]
+    fn percentiles_reflect_distribution() {
+        let mut r = LatencyRecorder::new(Cycle::ZERO);
+        for i in 0..100 {
+            r.record(Cycle::new(0), Cycle::new(i));
+        }
+        let p50 = r.percentile(0.5);
+        assert!((48..=64).contains(&p50), "p50 = {p50}");
+        assert!(r.percentile(1.0) >= 96);
+    }
+
+    #[test]
+    fn zero_latency_allowed() {
+        let mut r = LatencyRecorder::new(Cycle::ZERO);
+        r.record(Cycle::new(5), Cycle::new(5));
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.count(), 1);
+    }
+}

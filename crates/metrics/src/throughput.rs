@@ -1,0 +1,118 @@
+//! Accepted-traffic (throughput) measurement.
+
+use cr_sim::Cycle;
+
+/// Measures delivered traffic after a warmup period, normalized to
+/// flits per node per cycle — the paper's throughput unit.
+///
+/// # Examples
+///
+/// ```
+/// use cr_metrics::ThroughputMeter;
+/// use cr_sim::Cycle;
+///
+/// let mut m = ThroughputMeter::new(Cycle::new(100), 4);
+/// m.record_flits(Cycle::new(50), 16);   // warmup: ignored
+/// m.record_flits(Cycle::new(200), 16);
+/// m.record_flits(Cycle::new(250), 16);
+/// // 32 flits over 200 post-warmup cycles across 4 nodes:
+/// assert_eq!(m.flits_per_node_cycle(Cycle::new(300)), 32.0 / 200.0 / 4.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThroughputMeter {
+    warmup_end: Cycle,
+    num_nodes: usize,
+    flits: u64,
+    messages: u64,
+}
+
+impl ThroughputMeter {
+    /// Creates a meter ignoring deliveries before `warmup_end`, for a
+    /// network of `num_nodes` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_nodes` is zero.
+    pub fn new(warmup_end: Cycle, num_nodes: usize) -> Self {
+        assert!(num_nodes > 0, "need at least one node");
+        ThroughputMeter {
+            warmup_end,
+            num_nodes,
+            flits: 0,
+            messages: 0,
+        }
+    }
+
+    /// Records the delivery of one message of `flits` payload flits at
+    /// time `now`.
+    pub fn record_flits(&mut self, now: Cycle, flits: usize) {
+        if now < self.warmup_end {
+            return;
+        }
+        self.flits += flits as u64;
+        self.messages += 1;
+    }
+
+    /// Total post-warmup flits delivered.
+    pub fn flits(&self) -> u64 {
+        self.flits
+    }
+
+    /// Total post-warmup messages delivered.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Accepted traffic in flits per node per cycle, measured over the
+    /// window from warmup end to `now`. Returns `0.0` if the window is
+    /// empty.
+    pub fn flits_per_node_cycle(&self, now: Cycle) -> f64 {
+        let window = now.saturating_since(self.warmup_end);
+        if window == 0 {
+            return 0.0;
+        }
+        self.flits as f64 / window as f64 / self.num_nodes as f64
+    }
+
+    /// Accepted traffic in messages per node per cycle.
+    pub fn messages_per_node_cycle(&self, now: Cycle) -> f64 {
+        let window = now.saturating_since(self.warmup_end);
+        if window == 0 {
+            return 0.0;
+        }
+        self.messages as f64 / window as f64 / self.num_nodes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warmup_ignored() {
+        let mut m = ThroughputMeter::new(Cycle::new(10), 2);
+        m.record_flits(Cycle::new(9), 100);
+        assert_eq!(m.flits(), 0);
+        m.record_flits(Cycle::new(10), 8);
+        assert_eq!(m.flits(), 8);
+        assert_eq!(m.messages(), 1);
+    }
+
+    #[test]
+    fn normalization() {
+        let mut m = ThroughputMeter::new(Cycle::ZERO, 10);
+        for _ in 0..50 {
+            m.record_flits(Cycle::new(1), 4);
+        }
+        // 200 flits over 100 cycles and 10 nodes = 0.2.
+        assert!((m.flits_per_node_cycle(Cycle::new(100)) - 0.2).abs() < 1e-12);
+        assert!((m.messages_per_node_cycle(Cycle::new(100)) - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_window_is_zero() {
+        let m = ThroughputMeter::new(Cycle::new(100), 4);
+        assert_eq!(m.flits_per_node_cycle(Cycle::new(100)), 0.0);
+        assert_eq!(m.flits_per_node_cycle(Cycle::new(50)), 0.0);
+    }
+}

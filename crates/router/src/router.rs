@@ -1,0 +1,916 @@
+//! The input-buffered wormhole router.
+//!
+//! A [`Router`] owns, for one node:
+//!
+//! * **input units** — one per neighbor port plus one per injection
+//!   channel; each neighbor input holds `num_vcs` virtual channels with
+//!   `buffer_depth`-flit FIFOs, each injection input holds a single
+//!   FIFO of `inject_depth` flits;
+//! * **output state** — per (neighbor port, VC): which input VC holds
+//!   the channel, and a credit counter mirroring the downstream buffer
+//!   space; plus ejection ports with allocation but no credits
+//!   (the receiver always sinks one flit per ejection port per cycle);
+//! * the **routing/allocation** and **switch-traversal** pipeline
+//!   stages, invoked once per cycle by the network.
+//!
+//! The router is deliberately protocol-agnostic: it neither times out
+//! nor kills. The CR/FCR machinery drives it through
+//! [`Router::flush_worm`] (teardown) and the counters it exposes.
+
+use crate::flit::{Flit, WormId};
+use crate::routing::{Candidate, RouteCtx, RoutingFunction};
+use cr_sim::{Cycle, Fifo, NodeId, PortId, SimRng, VcId};
+use cr_topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Where an allocated worm is headed from this router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RouteTarget {
+    /// Out a neighbor port on a specific virtual channel.
+    Link {
+        /// Output port.
+        port: PortId,
+        /// Virtual channel on the output port.
+        vc: VcId,
+    },
+    /// Into the node's receiver via an ejection port.
+    Eject {
+        /// Ejection-port index (`0..num_eject`).
+        port: usize,
+    },
+}
+
+/// What kind of input unit a port index refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PortKind {
+    /// A neighbor (topology) port.
+    Node,
+    /// An injection interface port.
+    Inject,
+}
+
+/// Static configuration of one router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Number of neighbor ports (the topology's port span at this
+    /// node).
+    pub num_node_ports: usize,
+    /// Virtual channels per neighbor port.
+    pub num_vcs: usize,
+    /// Flit-buffer depth per neighbor input VC.
+    pub buffer_depth: usize,
+    /// Number of injection channels (paper Fig. 14(e)/(f): "multiple
+    /// source channels").
+    pub num_inject: usize,
+    /// Flit-buffer depth of each injection channel.
+    pub inject_depth: usize,
+    /// Number of ejection channels ("sink channels").
+    pub num_eject: usize,
+    /// Flits the outgoing channel pipeline latches can hold when
+    /// stalled (the channel depth `d_chan`). Wormhole handshake
+    /// channels store one flit per pipeline stage when blocked, so
+    /// output credits cover `buffer_depth + link_depth`.
+    pub link_depth: usize,
+}
+
+impl RouterConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero-sized resources.
+    pub fn validate(&self) {
+        assert!(self.num_vcs > 0, "need at least one virtual channel");
+        assert!(self.buffer_depth > 0, "need at least one buffer slot");
+        assert!(self.num_inject > 0, "need at least one injection channel");
+        assert!(self.inject_depth > 0, "injection FIFO needs a slot");
+        assert!(self.num_eject > 0, "need at least one ejection channel");
+    }
+}
+
+/// Counters exposed for the experiments.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RouterCounters {
+    /// Headers granted an output (or ejection) channel.
+    pub headers_routed: u64,
+    /// Flits moved through the crossbar.
+    pub flits_forwarded: u64,
+    /// Escape-channel allocations under Duato's protocol — the paper's
+    /// "potential deadlock situation" events.
+    pub escape_allocations: u64,
+    /// Defensive count of flits dropped because their worm state was
+    /// gone (should stay zero; teardown catches worms via the killed
+    /// registry first).
+    pub orphan_flits_dropped: u64,
+    /// Flits flushed out of buffers by worm teardown.
+    pub flits_flushed: u64,
+    /// Headers that were offered no candidate (blocked by faults).
+    pub unroutable_headers: u64,
+}
+
+/// One flit leaving the router this cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Traversal {
+    /// The departing flit (header mutations — escape marking — already
+    /// applied).
+    pub flit: Flit,
+    /// Input port it came from (for upstream credit return).
+    pub from_port: PortId,
+    /// Input virtual channel it came from.
+    pub from_vc: VcId,
+    /// Where it is going.
+    pub target: RouteTarget,
+}
+
+/// Result of flushing one worm out of one input VC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlushResult {
+    /// Flits removed from the FIFO.
+    pub flushed: usize,
+    /// The downstream hop the worm had allocated, if any — the next
+    /// stop for a teardown token.
+    pub released: Option<RouteTarget>,
+}
+
+#[derive(Debug)]
+struct InputVc {
+    buf: Fifo<Flit>,
+    route: Option<RouteTarget>,
+    worm: Option<WormId>,
+    /// Last cycle a flit was forwarded out of this VC (or arrived into
+    /// an empty VC); drives path-wide stall detection.
+    last_progress: Cycle,
+}
+
+impl InputVc {
+    fn new(depth: usize) -> Self {
+        InputVc {
+            buf: Fifo::with_capacity(depth),
+            route: None,
+            worm: None,
+            last_progress: Cycle::ZERO,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OutputVc {
+    /// The input VC currently holding this output channel.
+    allocated_to: Option<(PortId, VcId)>,
+    /// Free buffer slots at the downstream input VC.
+    credits: usize,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct EjectPort {
+    allocated_to: Option<(PortId, VcId)>,
+}
+
+/// The wormhole router for one node. See the module docs for the
+/// microarchitecture.
+#[derive(Debug)]
+pub struct Router {
+    node: NodeId,
+    cfg: RouterConfig,
+    /// inputs[port][vc]; injection ports have a single VC.
+    inputs: Vec<Vec<InputVc>>,
+    /// outputs[port][vc] for neighbor ports only.
+    outputs: Vec<Vec<OutputVc>>,
+    ejects: Vec<EjectPort>,
+    dead_out: Vec<bool>,
+    counters: RouterCounters,
+    rng: SimRng,
+    /// (port, vc) pairs whose orphan drop needs an upstream credit.
+    orphan_credits: Vec<(PortId, VcId)>,
+}
+
+impl Router {
+    /// Builds the router for `node` with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see
+    /// [`RouterConfig::validate`]).
+    pub fn new(node: NodeId, cfg: RouterConfig, rng: SimRng) -> Self {
+        cfg.validate();
+        let mut inputs = Vec::with_capacity(cfg.num_node_ports + cfg.num_inject);
+        for _ in 0..cfg.num_node_ports {
+            inputs.push(
+                (0..cfg.num_vcs)
+                    .map(|_| InputVc::new(cfg.buffer_depth))
+                    .collect(),
+            );
+        }
+        for _ in 0..cfg.num_inject {
+            inputs.push(vec![InputVc::new(cfg.inject_depth)]);
+        }
+        let outputs = (0..cfg.num_node_ports)
+            .map(|_| {
+                (0..cfg.num_vcs)
+                    .map(|_| OutputVc {
+                        allocated_to: None,
+                        credits: cfg.buffer_depth + cfg.link_depth,
+                    })
+                    .collect()
+            })
+            .collect();
+        Router {
+            node,
+            cfg,
+            inputs,
+            outputs,
+            ejects: vec![EjectPort::default(); cfg.num_eject],
+            dead_out: vec![false; cfg.num_node_ports],
+            counters: RouterCounters::default(),
+            rng,
+            orphan_credits: Vec::new(),
+        }
+    }
+
+    /// The node this router serves.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// The router's configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    /// The experiment counters.
+    pub fn counters(&self) -> &RouterCounters {
+        &self.counters
+    }
+
+    /// The input-port index of injection channel `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_inject`.
+    pub fn inject_port(&self, i: usize) -> PortId {
+        assert!(i < self.cfg.num_inject, "injection channel out of range");
+        PortId::new((self.cfg.num_node_ports + i) as u16)
+    }
+
+    /// What kind of input unit `port` is.
+    pub fn port_kind(&self, port: PortId) -> PortKind {
+        if port.index() < self.cfg.num_node_ports {
+            PortKind::Node
+        } else {
+            PortKind::Inject
+        }
+    }
+
+    /// Marks the outgoing link on `port` as dead; routing functions
+    /// will no longer be offered it.
+    pub fn set_dead_out(&mut self, port: PortId) {
+        self.dead_out[port.index()] = true;
+    }
+
+    /// Returns `true` if the outgoing link on `port` is marked dead.
+    pub fn is_dead_out(&self, port: PortId) -> bool {
+        self.dead_out
+            .get(port.index())
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// Accepts a flit arriving on a neighbor input channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full — that would mean the upstream
+    /// router violated credit flow control, which is a simulator bug,
+    /// never a legal network state.
+    pub fn accept(&mut self, now: Cycle, port: PortId, vc: VcId, flit: Flit) {
+        let ivc = &mut self.inputs[port.index()][vc.index()];
+        if ivc.buf.is_empty() {
+            ivc.last_progress = now;
+        }
+        ivc.buf
+            .push(flit)
+            .unwrap_or_else(|_| panic!("credit violation at {} {port} {vc}", self.node));
+    }
+
+    /// Free space in injection channel `i`'s FIFO.
+    pub fn injection_free(&self, i: usize) -> usize {
+        let port = self.inject_port(i);
+        self.inputs[port.index()][0].buf.free()
+    }
+
+    /// Pushes a flit into injection channel `i`; returns `false`
+    /// (leaving the flit with the caller) when the FIFO is full —
+    /// which is exactly the back-pressure the CR injector watches.
+    pub fn try_inject(&mut self, now: Cycle, i: usize, flit: Flit) -> bool {
+        let port = self.inject_port(i);
+        let ivc = &mut self.inputs[port.index()][0];
+        if ivc.buf.is_empty() {
+            ivc.last_progress = now;
+        }
+        ivc.buf.push(flit).is_ok()
+    }
+
+    /// Routing and virtual-channel allocation stage: every input VC
+    /// whose head-of-line flit is an unrouted header tries to acquire
+    /// an output VC (or an ejection port, at the destination).
+    ///
+    /// Iteration order rotates with `now` for fairness.
+    pub fn route_and_allocate(
+        &mut self,
+        now: Cycle,
+        routing: &dyn RoutingFunction,
+        topo: &dyn Topology,
+        is_killed: &dyn Fn(WormId) -> bool,
+    ) {
+        let total_inputs: Vec<(usize, usize)> = self
+            .inputs
+            .iter()
+            .enumerate()
+            .flat_map(|(p, vcs)| (0..vcs.len()).map(move |v| (p, v)))
+            .collect();
+        let n = total_inputs.len();
+        if n == 0 {
+            return;
+        }
+        let offset = (now.as_u64() as usize) % n;
+        let mut candidates = Vec::new();
+        for k in 0..n {
+            let (p, v) = total_inputs[(k + offset) % n];
+            if self.inputs[p][v].route.is_some() {
+                continue;
+            }
+            let Some(front) = self.inputs[p][v].buf.front().copied() else {
+                continue;
+            };
+            if is_killed(front.worm) {
+                // Teardown in progress: the kill token will flush this.
+                continue;
+            }
+            if !front.is_head() {
+                // A non-head flit with no route: its worm was torn down
+                // while this flit was in flight and it slipped past the
+                // killed registry. Drop defensively.
+                let f = self.inputs[p][v].buf.pop().expect("front exists");
+                debug_assert!(!f.is_head());
+                self.counters.orphan_flits_dropped += 1;
+                if p < self.cfg.num_node_ports {
+                    self.orphan_credits
+                        .push((PortId::new(p as u16), VcId::new(v as u8)));
+                }
+                continue;
+            }
+            // Ejection?
+            if front.dst == self.node {
+                if let Some(e) = self
+                    .ejects
+                    .iter()
+                    .position(|ej| ej.allocated_to.is_none())
+                {
+                    self.ejects[e].allocated_to =
+                        Some((PortId::new(p as u16), VcId::new(v as u8)));
+                    let ivc = &mut self.inputs[p][v];
+                    ivc.route = Some(RouteTarget::Eject { port: e });
+                    ivc.worm = Some(front.worm);
+                    self.counters.headers_routed += 1;
+                }
+                continue;
+            }
+            // Network routing.
+            candidates.clear();
+            let mut ctx = RouteCtx {
+                topo,
+                node: self.node,
+                flit: &front,
+                dead_out: &self.dead_out,
+                rng: &mut self.rng,
+            };
+            routing.candidates(&mut ctx, &mut candidates);
+            if candidates.is_empty() {
+                self.counters.unroutable_headers += 1;
+                continue;
+            }
+            let grant = candidates.iter().copied().find(|c: &Candidate| {
+                self.outputs[c.port.index()][c.vc.index()]
+                    .allocated_to
+                    .is_none()
+            });
+            if let Some(c) = grant {
+                self.outputs[c.port.index()][c.vc.index()].allocated_to =
+                    Some((PortId::new(p as u16), VcId::new(v as u8)));
+                let ivc = &mut self.inputs[p][v];
+                ivc.route = Some(RouteTarget::Link {
+                    port: c.port,
+                    vc: c.vc,
+                });
+                ivc.worm = Some(front.worm);
+                if c.escape {
+                    self.counters.escape_allocations += 1;
+                    ivc.buf.front_mut().expect("front exists").escaped = true;
+                }
+                self.counters.headers_routed += 1;
+            }
+        }
+    }
+
+    /// Switch-traversal stage: each output port and each ejection port
+    /// forwards at most one flit; each input port supplies at most one.
+    ///
+    /// `is_killed` freezes worms undergoing teardown: their flits stop
+    /// moving (and in particular their tails stop releasing channels),
+    /// so that kill tokens are the only thing that releases a killed
+    /// worm's resources — otherwise a draining worm's tail races the
+    /// token and hands channels to new worms before the teardown has
+    /// cleaned the downstream endpoint.
+    ///
+    /// Returns the departing flits; the caller moves them onto links or
+    /// into receivers and returns credits upstream.
+    pub fn traverse(&mut self, now: Cycle, is_killed: &dyn Fn(WormId) -> bool) -> Vec<Traversal> {
+        let mut out = Vec::new();
+        let mut input_used = vec![false; self.inputs.len()];
+
+        // Neighbor outputs: one flit per physical port per cycle,
+        // round-robin over that port's VCs.
+        for port in 0..self.cfg.num_node_ports {
+            let nvcs = self.cfg.num_vcs;
+            let start = (now.as_u64() as usize) % nvcs;
+            for k in 0..nvcs {
+                let vc = (start + k) % nvcs;
+                let Some((ip, iv)) = self.outputs[port][vc].allocated_to else {
+                    continue;
+                };
+                if input_used[ip.index()] || self.outputs[port][vc].credits == 0 {
+                    continue;
+                }
+                let ivc = &mut self.inputs[ip.index()][iv.index()];
+                let Some(owner) = ivc.worm else {
+                    continue;
+                };
+                // Frozen: the owner is being torn down; only its kill
+                // token may release this channel. (The front flit may
+                // even belong to a live successor worm whose tailward
+                // predecessor flits were swallowed by the killed
+                // registry — it waits here until the token clears the
+                // stale route.)
+                if is_killed(owner) {
+                    continue;
+                }
+                let Some(front) = ivc.buf.front() else {
+                    continue;
+                };
+                debug_assert_eq!(
+                    front.worm, owner,
+                    "output owner and buffered worm diverged at {}",
+                    self.node
+                );
+                if front.worm != owner {
+                    continue; // defensive in release builds
+                }
+                let flit = ivc.buf.pop().expect("front exists");
+                ivc.last_progress = now;
+                input_used[ip.index()] = true;
+                self.outputs[port][vc].credits -= 1;
+                if flit.is_tail() {
+                    ivc.route = None;
+                    ivc.worm = None;
+                    self.outputs[port][vc].allocated_to = None;
+                }
+                self.counters.flits_forwarded += 1;
+                out.push(Traversal {
+                    flit,
+                    from_port: ip,
+                    from_vc: iv,
+                    target: RouteTarget::Link {
+                        port: PortId::new(port as u16),
+                        vc: VcId::new(vc as u8),
+                    },
+                });
+                break; // this physical port is used this cycle
+            }
+        }
+
+        // Ejection ports: one flit each per cycle.
+        for e in 0..self.ejects.len() {
+            let Some((ip, iv)) = self.ejects[e].allocated_to else {
+                continue;
+            };
+            if input_used[ip.index()] {
+                continue;
+            }
+            let ivc = &mut self.inputs[ip.index()][iv.index()];
+            let Some(owner) = ivc.worm else {
+                continue;
+            };
+            if is_killed(owner) {
+                continue;
+            }
+            let Some(front) = ivc.buf.front() else {
+                continue;
+            };
+            debug_assert_eq!(
+                front.worm, owner,
+                "eject owner and buffered worm diverged at {}",
+                self.node
+            );
+            if front.worm != owner {
+                continue; // defensive in release builds
+            }
+            let flit = ivc.buf.pop().expect("front exists");
+            ivc.last_progress = now;
+            input_used[ip.index()] = true;
+            if flit.is_tail() {
+                ivc.route = None;
+                ivc.worm = None;
+                self.ejects[e].allocated_to = None;
+            }
+            self.counters.flits_forwarded += 1;
+            out.push(Traversal {
+                flit,
+                from_port: ip,
+                from_vc: iv,
+                target: RouteTarget::Eject { port: e },
+            });
+        }
+        out
+    }
+
+    /// Adds one credit to output `(port, vc)` — the downstream input
+    /// VC freed a buffer slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if credits would exceed the downstream buffer depth
+    /// (double-return bug).
+    pub fn add_credit(&mut self, port: PortId, vc: VcId) {
+        let o = &mut self.outputs[port.index()][vc.index()];
+        assert!(
+            o.credits < self.cfg.buffer_depth + self.cfg.link_depth,
+            "credit overflow on {} {port} {vc}",
+            self.node
+        );
+        o.credits += 1;
+    }
+
+    /// Removes every flit of `worm` from input VC `(port, vc)` and
+    /// releases the worm's allocated output, if it owned one.
+    ///
+    /// This is the teardown primitive used by CR kill tokens: the
+    /// caller (the network) walks the returned [`RouteTarget`] to the
+    /// next router and repeats, and returns `flushed` credits to the
+    /// upstream router.
+    pub fn flush_worm(&mut self, port: PortId, vc: VcId, worm: WormId) -> FlushResult {
+        let ivc = &mut self.inputs[port.index()][vc.index()];
+        let flushed = ivc.buf.retain(|f| f.worm != worm);
+        self.counters.flits_flushed += flushed as u64;
+        let mut released = None;
+        if ivc.worm == Some(worm) {
+            released = ivc.route.take();
+            ivc.worm = None;
+            match released {
+                Some(RouteTarget::Link { port: op, vc: ov }) => {
+                    self.outputs[op.index()][ov.index()].allocated_to = None;
+                }
+                Some(RouteTarget::Eject { port: ep }) => {
+                    self.ejects[ep].allocated_to = None;
+                }
+                None => {}
+            }
+        }
+        FlushResult { flushed, released }
+    }
+
+    /// The route target currently allocated to input VC `(port, vc)`,
+    /// if any.
+    pub fn route_of(&self, port: PortId, vc: VcId) -> Option<RouteTarget> {
+        self.inputs[port.index()][vc.index()].route
+    }
+
+    /// The worm currently owning input VC `(port, vc)`, if any.
+    pub fn worm_of(&self, port: PortId, vc: VcId) -> Option<WormId> {
+        self.inputs[port.index()][vc.index()].worm
+    }
+
+    /// Which input VC holds output `(port, vc)`, if any.
+    pub fn output_owner(&self, port: PortId, vc: VcId) -> Option<(PortId, VcId)> {
+        self.outputs[port.index()][vc.index()].allocated_to
+    }
+
+    /// Current credit count of output `(port, vc)`.
+    pub fn credits(&self, port: PortId, vc: VcId) -> usize {
+        self.outputs[port.index()][vc.index()].credits
+    }
+
+    /// Returns `true` if input VC `(port, vc)` has no free buffer
+    /// slot (the arriving flit must wait in the channel latches).
+    pub fn vc_is_full(&self, port: PortId, vc: VcId) -> bool {
+        self.inputs[port.index()][vc.index()].buf.is_full()
+    }
+
+    /// Number of flits buffered in input VC `(port, vc)`.
+    pub fn occupancy(&self, port: PortId, vc: VcId) -> usize {
+        self.inputs[port.index()][vc.index()].buf.len()
+    }
+
+    /// The head-of-line flit of input VC `(port, vc)`, if any.
+    pub fn front_flit(&self, port: PortId, vc: VcId) -> Option<&Flit> {
+        self.inputs[port.index()][vc.index()].buf.front()
+    }
+
+    /// Total flits buffered anywhere in this router.
+    pub fn total_occupancy(&self) -> usize {
+        self.inputs
+            .iter()
+            .flatten()
+            .map(|ivc| ivc.buf.len())
+            .sum()
+    }
+
+    /// Input VCs that hold a worm but have not forwarded a flit for at
+    /// least `threshold` cycles — the path-wide stall detector of the
+    /// alternative kill scheme the paper compares against.
+    pub fn stalled_worms(&self, now: Cycle, threshold: u64) -> Vec<(PortId, VcId, WormId)> {
+        let mut out = Vec::new();
+        for (p, vcs) in self.inputs.iter().enumerate() {
+            for (v, ivc) in vcs.iter().enumerate() {
+                if ivc.buf.is_empty() {
+                    continue;
+                }
+                let worm = match ivc.worm.or_else(|| ivc.buf.front().map(|f| f.worm)) {
+                    Some(w) => w,
+                    None => continue,
+                };
+                if now.saturating_since(ivc.last_progress) >= threshold {
+                    out.push((PortId::new(p as u16), VcId::new(v as u8), worm));
+                }
+            }
+        }
+        out
+    }
+
+    /// Drains the pending upstream-credit notices for orphan drops
+    /// (see [`RouterCounters::orphan_flits_dropped`]).
+    pub fn take_orphan_credits(&mut self) -> Vec<(PortId, VcId)> {
+        std::mem::take(&mut self.orphan_credits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::worm_flits;
+    use crate::routing::MinimalAdaptive;
+    use cr_sim::MessageId;
+    use cr_topology::KAryNCube;
+
+    fn cfg() -> RouterConfig {
+        RouterConfig {
+            num_node_ports: 2, // 1-D torus
+            num_vcs: 1,
+            buffer_depth: 2,
+            num_inject: 1,
+            inject_depth: 2,
+            num_eject: 1,
+            link_depth: 0,
+        }
+    }
+
+    fn router(node: u32) -> Router {
+        Router::new(NodeId::new(node), cfg(), SimRng::from_seed(1))
+    }
+
+    fn worm(src: u32, dst: u32, len: u32, msg: u64) -> Vec<Flit> {
+        worm_flits(
+            WormId::new(MessageId::new(msg), 0),
+            NodeId::new(src),
+            NodeId::new(dst),
+            len,
+            0,
+            0,
+            Cycle::ZERO,
+        )
+        .collect()
+    }
+
+    #[test]
+    fn header_gets_routed_and_flits_flow() {
+        let topo = KAryNCube::torus(4, 1);
+        let rf = MinimalAdaptive::new(1);
+        let mut r = router(0);
+        let flits = worm(3, 1, 3, 1); // passing through node 0 toward 1
+        // Header arrives on input port 1 (-x input faces node 3... the
+        // exact port does not matter to the router).
+        let now = Cycle::ZERO;
+        r.accept(now, PortId::new(1), VcId::new(0), flits[0]);
+        r.route_and_allocate(now, &rf, &topo, &|_| false);
+        assert!(r.route_of(PortId::new(1), VcId::new(0)).is_some());
+        let t = r.traverse(now, &|_| false);
+        assert_eq!(t.len(), 1);
+        assert!(t[0].flit.is_head());
+        match t[0].target {
+            RouteTarget::Link { port, .. } => assert_eq!(port, PortId::new(0)),
+            _ => panic!("expected link target"),
+        }
+        // Body and tail follow without re-routing.
+        r.accept(now, PortId::new(1), VcId::new(0), flits[1]);
+        r.accept(now, PortId::new(1), VcId::new(0), flits[2]);
+        let t = r.traverse(now + 1, &|_| false);
+        assert_eq!(t.len(), 1);
+        assert!(!t[0].flit.is_head());
+        // Two credits are spent; the downstream router must free a slot
+        // before the tail can move.
+        r.add_credit(PortId::new(0), VcId::new(0));
+        let t = r.traverse(now + 2, &|_| false);
+        assert_eq!(t.len(), 1);
+        assert!(t[0].flit.is_tail());
+        // Tail released the channel.
+        assert!(r.route_of(PortId::new(1), VcId::new(0)).is_none());
+        assert!(r.output_owner(PortId::new(0), VcId::new(0)).is_none());
+    }
+
+    #[test]
+    fn ejection_at_destination() {
+        let topo = KAryNCube::torus(4, 1);
+        let rf = MinimalAdaptive::new(1);
+        let mut r = router(2);
+        let flits = worm(0, 2, 2, 1);
+        let now = Cycle::ZERO;
+        r.accept(now, PortId::new(1), VcId::new(0), flits[0]);
+        r.accept(now, PortId::new(1), VcId::new(0), flits[1]);
+        r.route_and_allocate(now, &rf, &topo, &|_| false);
+        assert_eq!(
+            r.route_of(PortId::new(1), VcId::new(0)),
+            Some(RouteTarget::Eject { port: 0 })
+        );
+        let t = r.traverse(now, &|_| false);
+        assert_eq!(t.len(), 1);
+        assert!(matches!(t[0].target, RouteTarget::Eject { port: 0 }));
+        let t = r.traverse(now + 1, &|_| false);
+        assert!(t[0].flit.is_tail());
+        // Eject port released.
+        r.accept(now + 2, PortId::new(0), VcId::new(0), worm(1, 2, 2, 2)[0]);
+        r.route_and_allocate(now + 2, &rf, &topo, &|_| false);
+        assert!(r.route_of(PortId::new(0), VcId::new(0)).is_some());
+    }
+
+    #[test]
+    fn credits_block_traversal() {
+        let topo = KAryNCube::torus(4, 1);
+        let rf = MinimalAdaptive::new(1);
+        let mut r = router(0);
+        // Destination 1 is one hop away: port 0 is the unique minimal
+        // direction, so the credit observations below are well-defined.
+        let flits = worm(3, 1, 6, 1);
+        let now = Cycle::ZERO;
+        for f in &flits[..2] {
+            r.accept(now, PortId::new(1), VcId::new(0), *f);
+        }
+        r.route_and_allocate(now, &rf, &topo, &|_| false);
+        // Drain the 2 credits.
+        assert_eq!(r.traverse(now, &|_| false).len(), 1);
+        assert_eq!(r.traverse(now + 1, &|_| false).len(), 1);
+        assert_eq!(r.credits(PortId::new(0), VcId::new(0)), 0);
+        // More flits buffered but no credits: stall.
+        r.accept(now + 2, PortId::new(1), VcId::new(0), flits[2]);
+        assert!(r.traverse(now + 2, &|_| false).is_empty());
+        // Credit return unblocks.
+        r.add_credit(PortId::new(0), VcId::new(0));
+        assert_eq!(r.traverse(now + 3, &|_| false).len(), 1);
+    }
+
+    #[test]
+    fn one_flit_per_output_port_per_cycle() {
+        let topo = KAryNCube::torus(4, 1);
+        let rf = MinimalAdaptive::new(2);
+        let mut r = Router::new(
+            NodeId::new(0),
+            RouterConfig {
+                num_vcs: 2,
+                ..cfg()
+            },
+            SimRng::from_seed(2),
+        );
+        // Two worms on different VCs, both heading out port 0.
+        let w1 = worm(3, 1, 2, 1);
+        let w2 = worm(3, 1, 2, 2);
+        let now = Cycle::ZERO;
+        r.accept(now, PortId::new(1), VcId::new(0), w1[0]);
+        r.accept(now, PortId::new(1), VcId::new(1), w2[0]);
+        r.route_and_allocate(now, &rf, &topo, &|_| false);
+        // Both allocated (different output VCs of port 0)...
+        assert!(r.route_of(PortId::new(1), VcId::new(0)).is_some());
+        assert!(r.route_of(PortId::new(1), VcId::new(1)).is_some());
+        // ...but only one flit crosses per cycle (also input-port
+        // bandwidth: both share input port 1).
+        assert_eq!(r.traverse(now, &|_| false).len(), 1);
+        assert_eq!(r.traverse(now + 1, &|_| false).len(), 1);
+    }
+
+    #[test]
+    fn injection_backpressure_visible() {
+        let mut r = router(0);
+        let flits = worm(0, 2, 6, 1);
+        let now = Cycle::ZERO;
+        assert_eq!(r.injection_free(0), 2);
+        assert!(r.try_inject(now, 0, flits[0]));
+        assert!(r.try_inject(now, 0, flits[1]));
+        assert!(!r.try_inject(now, 0, flits[2]), "FIFO full: back-pressure");
+        assert_eq!(r.injection_free(0), 0);
+    }
+
+    #[test]
+    fn flush_worm_releases_everything() {
+        let topo = KAryNCube::torus(4, 1);
+        let rf = MinimalAdaptive::new(1);
+        let mut r = router(0);
+        let flits = worm(3, 2, 6, 1);
+        let now = Cycle::ZERO;
+        r.accept(now, PortId::new(1), VcId::new(0), flits[0]);
+        r.accept(now, PortId::new(1), VcId::new(0), flits[1]);
+        r.route_and_allocate(now, &rf, &topo, &|_| false);
+        let w = flits[0].worm;
+        let res = r.flush_worm(PortId::new(1), VcId::new(0), w);
+        assert_eq!(res.flushed, 2);
+        assert!(matches!(res.released, Some(RouteTarget::Link { .. })));
+        assert!(r.route_of(PortId::new(1), VcId::new(0)).is_none());
+        assert!(r.output_owner(PortId::new(0), VcId::new(0)).is_none());
+        assert_eq!(r.occupancy(PortId::new(1), VcId::new(0)), 0);
+        // Flushing again is a no-op.
+        let res2 = r.flush_worm(PortId::new(1), VcId::new(0), w);
+        assert_eq!(res2.flushed, 0);
+        assert_eq!(res2.released, None);
+    }
+
+    #[test]
+    fn flush_preserves_other_worms_flits() {
+        let mut r = router(0);
+        let w1 = worm(3, 2, 2, 1);
+        let w2 = worm(3, 1, 2, 2);
+        let now = Cycle::ZERO;
+        // Tail of w1 then header of w2 share the FIFO.
+        r.accept(now, PortId::new(1), VcId::new(0), w1[1]);
+        r.accept(now, PortId::new(1), VcId::new(0), w2[0]);
+        let res = r.flush_worm(PortId::new(1), VcId::new(0), w2[0].worm);
+        assert_eq!(res.flushed, 1);
+        assert_eq!(r.occupancy(PortId::new(1), VcId::new(0)), 1);
+        assert_eq!(
+            r.front_flit(PortId::new(1), VcId::new(0)).unwrap().worm,
+            w1[0].worm
+        );
+    }
+
+    #[test]
+    fn stalled_worm_detection() {
+        let topo = KAryNCube::torus(4, 1);
+        let rf = MinimalAdaptive::new(1);
+        let mut r = router(0);
+        let flits = worm(3, 2, 6, 1);
+        r.accept(Cycle::ZERO, PortId::new(1), VcId::new(0), flits[0]);
+        r.route_and_allocate(Cycle::ZERO, &rf, &topo, &|_| false);
+        // Drain credits so the worm jams.
+        let _ = r.traverse(Cycle::ZERO, &|_| false);
+        r.accept(Cycle::new(1), PortId::new(1), VcId::new(0), flits[1]);
+        let _ = r.traverse(Cycle::new(1), &|_| false);
+        r.accept(Cycle::new(2), PortId::new(1), VcId::new(0), flits[2]);
+        assert!(r.traverse(Cycle::new(2), &|_| false).is_empty(), "out of credits");
+        assert!(r.stalled_worms(Cycle::new(10), 20).is_empty());
+        let stalled = r.stalled_worms(Cycle::new(40), 20);
+        assert_eq!(stalled.len(), 1);
+        assert_eq!(stalled[0].2, flits[0].worm);
+    }
+
+    #[test]
+    fn dead_port_blocks_routing() {
+        let topo = KAryNCube::torus(4, 1);
+        let rf = MinimalAdaptive::new(1);
+        let mut r = router(0);
+        r.set_dead_out(PortId::new(0));
+        let flits = worm(3, 1, 2, 1); // must leave via +x = port 0
+        r.accept(Cycle::ZERO, PortId::new(1), VcId::new(0), flits[0]);
+        r.route_and_allocate(Cycle::ZERO, &rf, &topo, &|_| false);
+        assert!(r.route_of(PortId::new(1), VcId::new(0)).is_none());
+        assert_eq!(r.counters().unroutable_headers, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn credit_overflow_is_a_bug() {
+        let mut r = router(0);
+        r.add_credit(PortId::new(0), VcId::new(0)); // already at depth
+    }
+
+    #[test]
+    fn orphan_body_flit_dropped_with_credit_notice() {
+        let topo = KAryNCube::torus(4, 1);
+        let rf = MinimalAdaptive::new(1);
+        let mut r = router(0);
+        let flits = worm(3, 1, 3, 1);
+        // A body flit arrives with no preceding header (worm was torn
+        // down upstream).
+        r.accept(Cycle::ZERO, PortId::new(1), VcId::new(0), flits[1]);
+        r.route_and_allocate(Cycle::ZERO, &rf, &topo, &|_| false);
+        assert_eq!(r.counters().orphan_flits_dropped, 1);
+        assert_eq!(r.occupancy(PortId::new(1), VcId::new(0)), 0);
+        let credits = r.take_orphan_credits();
+        assert_eq!(credits, vec![(PortId::new(1), VcId::new(0))]);
+        assert!(r.take_orphan_credits().is_empty(), "drained");
+    }
+}

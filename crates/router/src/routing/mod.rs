@@ -1,0 +1,142 @@
+//! Routing functions: given a header flit at a node, produce the
+//! prioritized list of output (port, virtual-channel) candidates.
+//!
+//! The router allocates the *first free* candidate, so the routing
+//! function controls policy purely through candidate order: adaptive
+//! functions shuffle equivalent choices, Duato's protocol lists escape
+//! channels last, and dimension-order routing offers exactly one port.
+
+mod adaptive;
+mod dor;
+mod duato;
+mod par;
+
+pub use adaptive::MinimalAdaptive;
+pub use dor::DimensionOrder;
+pub use duato::DuatoProtocol;
+pub use par::PlanarAdaptive;
+
+use crate::flit::Flit;
+use cr_sim::{NodeId, PortId, SimRng, VcId};
+use cr_topology::Topology;
+
+/// One routing candidate: an output virtual channel, with a marker for
+/// escape channels (used to count the paper's "potential deadlock
+/// situations").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Candidate {
+    /// Output port.
+    pub port: PortId,
+    /// Virtual channel on that port.
+    pub vc: VcId,
+    /// `true` if this is a deadlock-escape channel (Duato's protocol).
+    pub escape: bool,
+}
+
+/// Everything a routing function may consult when routing one header.
+pub struct RouteCtx<'a> {
+    /// The network topology.
+    pub topo: &'a dyn Topology,
+    /// The node doing the routing.
+    pub node: NodeId,
+    /// The header flit being routed (destination, hop count, escape
+    /// status).
+    pub flit: &'a Flit,
+    /// `dead_out[p]` is `true` if the outgoing link on port `p` is
+    /// known dead; routing functions must not offer such ports.
+    pub dead_out: &'a [bool],
+    /// Deterministic tie-breaking randomness.
+    pub rng: &'a mut SimRng,
+}
+
+impl<'a> RouteCtx<'a> {
+    /// Minimal output ports toward the destination that are still
+    /// alive, in ascending port order.
+    pub fn live_minimal_ports(&self) -> Vec<PortId> {
+        let mut ports = Vec::new();
+        self.topo
+            .minimal_ports_into(self.node, self.flit.dst, &mut ports);
+        ports.retain(|p| !self.dead_out.get(p.index()).copied().unwrap_or(false));
+        ports
+    }
+}
+
+/// A routing algorithm.
+///
+/// Implementations must be memoryless across calls: all per-worm state
+/// lives in the header flit (`hops`, `escaped`), so that killing and
+/// retransmitting a message fully resets its routing state — a property
+/// Compressionless Routing relies on.
+pub trait RoutingFunction: std::fmt::Debug {
+    /// Appends candidates for the header `ctx.flit` at `ctx.node`, in
+    /// priority order (the router takes the first free one).
+    ///
+    /// Called only when `ctx.node != ctx.flit.dst` (ejection is the
+    /// router's job) and never with an empty destination. May append
+    /// nothing, in which case the header simply waits (e.g. all minimal
+    /// ports dead and misrouting disabled).
+    fn candidates(&self, ctx: &mut RouteCtx<'_>, out: &mut Vec<Candidate>);
+
+    /// Number of virtual channels per physical port this algorithm
+    /// requires the network to provision.
+    fn num_vcs(&self) -> usize;
+
+    /// Short human-readable name for tables and logs.
+    fn name(&self) -> &'static str;
+}
+
+/// Rotates `items` left by a pseudo-random amount drawn from `rng` —
+/// the cheap deterministic "pick uniformly among equivalent choices"
+/// used by the adaptive functions.
+pub(crate) fn rotate_by_rng<T>(items: &mut [T], rng: &mut SimRng) {
+    let n = items.len();
+    if n > 1 {
+        let k = rng.pick_index(n).unwrap_or(0);
+        items.rotate_left(k);
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Helpers shared by routing-algorithm tests.
+
+    use super::*;
+    use crate::flit::{FlitKind, WormId};
+    use cr_sim::{Cycle, MessageId};
+
+    /// Builds a header flit from `src` to `dst`.
+    pub fn header(src: NodeId, dst: NodeId) -> Flit {
+        Flit::new(
+            WormId::new(MessageId::new(1), 0),
+            FlitKind::Head,
+            src,
+            dst,
+            0,
+            0,
+            8,
+            8,
+            Cycle::ZERO,
+        )
+    }
+
+    /// Collects candidates for `flit` at `node` with no dead links.
+    pub fn candidates_at(
+        rf: &dyn RoutingFunction,
+        topo: &dyn Topology,
+        node: NodeId,
+        flit: &Flit,
+    ) -> Vec<Candidate> {
+        let dead = vec![false; topo.max_ports()];
+        let mut rng = SimRng::from_seed(99);
+        let mut ctx = RouteCtx {
+            topo,
+            node,
+            flit,
+            dead_out: &dead,
+            rng: &mut rng,
+        };
+        let mut out = Vec::new();
+        rf.candidates(&mut ctx, &mut out);
+        out
+    }
+}

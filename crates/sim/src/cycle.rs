@@ -1,0 +1,140 @@
+//! The simulation clock.
+//!
+//! The whole reproduction is cycle-driven: one [`Cycle`] is one router
+//! clock tick, matching the paper's reporting of latencies and timeouts
+//! in cycles.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, measured in router clock cycles.
+///
+/// `Cycle` is an absolute timestamp; durations are plain `u64`s. The
+/// arithmetic operators are intentionally asymmetric: you can add a
+/// duration to a `Cycle` (`Cycle + u64 -> Cycle`) and subtract two
+/// `Cycle`s to get a duration (`Cycle - Cycle -> u64`), but you cannot
+/// add two timestamps.
+///
+/// # Examples
+///
+/// ```
+/// use cr_sim::Cycle;
+///
+/// let start = Cycle::ZERO;
+/// let later = start + 32;
+/// assert_eq!(later - start, 32);
+/// assert!(later > start);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// The beginning of simulated time.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a timestamp from a raw cycle count.
+    pub const fn new(t: u64) -> Self {
+        Cycle(t)
+    }
+
+    /// Returns the raw cycle count.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration elapsed since `earlier`, saturating at zero
+    /// if `earlier` is in the future.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cr_sim::Cycle;
+    /// let a = Cycle::new(10);
+    /// let b = Cycle::new(4);
+    /// assert_eq!(a.saturating_since(b), 6);
+    /// assert_eq!(b.saturating_since(a), 0);
+    /// ```
+    pub const fn saturating_since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// Advances the clock by one cycle.
+    pub fn tick(&mut self) {
+        self.0 += 1;
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+
+    /// Duration between two timestamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`Cycle::saturating_since`] when that can happen.
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = Cycle::ZERO + 5;
+        assert_eq!(t.as_u64(), 5);
+        assert_eq!(t - Cycle::ZERO, 5);
+        let mut u = t;
+        u += 3;
+        assert_eq!(u.as_u64(), 8);
+        u.tick();
+        assert_eq!(u.as_u64(), 9);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(Cycle::new(3) < Cycle::new(4));
+        assert_eq!(Cycle::new(7).to_string(), "@7");
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        assert_eq!(Cycle::new(3).saturating_since(Cycle::new(10)), 0);
+        assert_eq!(Cycle::new(10).saturating_since(Cycle::new(3)), 7);
+    }
+
+    #[test]
+    #[should_panic]
+    #[cfg(debug_assertions)]
+    fn sub_underflow_panics_in_debug() {
+        // Duration of a negative interval is a logic error; release
+        // builds wrap like the underlying integer type.
+        let _ = Cycle::new(1) - Cycle::new(2);
+    }
+}

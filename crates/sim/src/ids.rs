@@ -1,0 +1,237 @@
+//! Strongly-typed identifiers used throughout the simulator.
+//!
+//! Each identifier is a zero-cost newtype over a small integer
+//! ([C-NEWTYPE]). Using distinct types for nodes, links, ports and
+//! virtual channels prevents the classic simulator bug of indexing the
+//! wrong table with the right integer.
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a network node (a router plus its processor interface).
+///
+/// Node identifiers are dense: a network with `N` nodes uses ids
+/// `0..N`.
+///
+/// # Examples
+///
+/// ```
+/// use cr_sim::NodeId;
+/// let n = NodeId::new(7);
+/// assert_eq!(n.index(), 7);
+/// assert_eq!(format!("{n}"), "n7");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node identifier from a raw index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the raw index as a `usize`, suitable for table lookups.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw index as a `u32`.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of a unidirectional physical channel (link) in the network.
+///
+/// Every neighbor-to-neighbor channel has a unique `LinkId`; the fault
+/// model ([`cr-faults`](https://example.invalid)) is keyed by it.
+///
+/// # Examples
+///
+/// ```
+/// use cr_sim::LinkId;
+/// let l = LinkId::new(12);
+/// assert_eq!(l.index(), 12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LinkId(u32);
+
+impl LinkId {
+    /// Creates a link identifier from a raw index.
+    pub const fn new(index: u32) -> Self {
+        LinkId(index)
+    }
+
+    /// Returns the raw index as a `usize`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw index as a `u32`.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "l{}", self.0)
+    }
+}
+
+/// Identifier of a router port (an input or output direction at a node).
+///
+/// Port numbering is topology-defined; for a k-ary n-cube, dimension `d`
+/// uses ports `2d` (positive direction) and `2d + 1` (negative
+/// direction). Injection/ejection interfaces use ports past the neighbor
+/// ports.
+///
+/// # Examples
+///
+/// ```
+/// use cr_sim::PortId;
+/// let p = PortId::new(3);
+/// assert_eq!(p.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PortId(u16);
+
+impl PortId {
+    /// Creates a port identifier from a raw index.
+    pub const fn new(index: u16) -> Self {
+        PortId(index)
+    }
+
+    /// Returns the raw index as a `usize`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifier of a virtual channel within a port.
+///
+/// Compressionless Routing needs no virtual channels for deadlock
+/// freedom; they appear here because the evaluation compares against
+/// dimension-order routing (which needs them on tori) and because CR
+/// networks may still use them as virtual lanes for throughput.
+///
+/// # Examples
+///
+/// ```
+/// use cr_sim::VcId;
+/// assert_eq!(VcId::new(1).index(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VcId(u8);
+
+impl VcId {
+    /// Creates a virtual-channel identifier from a raw index.
+    pub const fn new(index: u8) -> Self {
+        VcId(index)
+    }
+
+    /// Returns the raw index as a `usize`.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Globally unique identifier of a message (one worm, across retries).
+///
+/// A message that is killed and retransmitted keeps its `MessageId`; the
+/// retry attempt is tracked separately (see the protocol crate), so
+/// `(MessageId, attempt)` uniquely names one worm instance in flight.
+///
+/// # Examples
+///
+/// ```
+/// use cr_sim::MessageId;
+/// let m = MessageId::new(99);
+/// assert_eq!(m.as_u64(), 99);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MessageId(u64);
+
+impl MessageId {
+    /// Creates a message identifier from a raw value.
+    pub const fn new(v: u64) -> Self {
+        MessageId(v)
+    }
+
+    /// Returns the raw value.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId::new(123);
+        assert_eq!(n.index(), 123);
+        assert_eq!(n.as_u32(), 123);
+        assert_eq!(NodeId::from(123u32), n);
+    }
+
+    #[test]
+    fn display_forms_are_distinct_and_nonempty() {
+        assert_eq!(NodeId::new(1).to_string(), "n1");
+        assert_eq!(LinkId::new(1).to_string(), "l1");
+        assert_eq!(PortId::new(1).to_string(), "p1");
+        assert_eq!(VcId::new(1).to_string(), "v1");
+        assert_eq!(MessageId::new(1).to_string(), "m1");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(NodeId::new(0));
+        set.insert(NodeId::new(0));
+        set.insert(NodeId::new(1));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId::new(0) < NodeId::new(1));
+        assert!(MessageId::new(5) > MessageId::new(4));
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", VcId::new(0)).is_empty());
+        assert!(!format!("{:?}", PortId::new(0)).is_empty());
+    }
+}

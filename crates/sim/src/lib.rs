@@ -1,0 +1,46 @@
+//! Simulation substrate for the Compressionless Routing reproduction.
+//!
+//! This crate holds the small, dependency-light building blocks shared by
+//! every other crate in the workspace:
+//!
+//! * [`ids`] — strongly-typed identifiers for nodes, links, ports,
+//!   virtual channels and messages ([`NodeId`], [`LinkId`], …).
+//! * [`cycle`] — the [`Cycle`] newtype used as the simulation clock.
+//! * [`rng`] — deterministic, splittable random-number generation
+//!   ([`SimRng`]): every experiment in the reproduction is exactly
+//!   reproducible from a single 64-bit seed.
+//! * [`fifo`] — a bounded ring-buffer FIFO ([`Fifo`]) used for flit
+//!   buffers, link pipelines and injection queues.
+//!
+//! # Examples
+//!
+//! ```
+//! use cr_sim::{Cycle, Fifo, NodeId, SimRng};
+//! use rand::Rng;
+//!
+//! let mut rng = SimRng::from_seed(42);
+//! let node = NodeId::new(rng.gen_range(0..64u32));
+//! assert!(node.index() < 64);
+//!
+//! let mut fifo: Fifo<u32> = Fifo::with_capacity(2);
+//! fifo.push(1).unwrap();
+//! fifo.push(2).unwrap();
+//! assert!(fifo.is_full());
+//! assert_eq!(fifo.pop(), Some(1));
+//!
+//! let t = Cycle::ZERO + 10;
+//! assert_eq!(t.as_u64(), 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cycle;
+pub mod fifo;
+pub mod ids;
+pub mod rng;
+
+pub use cycle::Cycle;
+pub use fifo::{Fifo, FifoFullError};
+pub use ids::{LinkId, MessageId, NodeId, PortId, VcId};
+pub use rng::SimRng;

@@ -1,0 +1,224 @@
+//! Deterministic, splittable random-number generation.
+//!
+//! Every stochastic component of the simulator (traffic sources, fault
+//! injection, adaptive tie-breaking, retransmission jitter) draws from a
+//! [`SimRng`] derived from a single experiment seed. Re-running an
+//! experiment with the same seed reproduces the exact same cycle-by-cycle
+//! behaviour, which is what makes the regression tests and the
+//! paper-figure harness trustworthy.
+
+use rand::{RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A deterministic pseudo-random number generator for simulations.
+///
+/// `SimRng` wraps a ChaCha8 stream cipher RNG: fast, portable across
+/// platforms (unlike `SmallRng`, its output is specified), and cheap to
+/// *split* into independent per-component streams with
+/// [`SimRng::split`].
+///
+/// It implements [`rand::RngCore`], so all of the [`rand::Rng`]
+/// extension methods are available.
+///
+/// # Examples
+///
+/// ```
+/// use cr_sim::SimRng;
+/// use rand::Rng;
+///
+/// let mut a = SimRng::from_seed(7);
+/// let mut b = SimRng::from_seed(7);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+///
+/// // Independent per-node streams:
+/// let mut n0 = a.split(0);
+/// let mut n1 = a.split(1);
+/// assert_ne!(n0.gen::<u64>(), n1.gen::<u64>());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: ChaCha8Rng,
+    seed: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit experiment seed.
+    pub fn from_seed(seed: u64) -> Self {
+        SimRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+            seed,
+        }
+    }
+
+    /// Returns the seed this generator (or its root ancestor) was
+    /// created from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// Children with different `stream` values produce statistically
+    /// independent sequences; the derivation depends only on the root
+    /// seed and `stream`, never on how much of this generator has been
+    /// consumed — so adding a new consumer does not perturb existing
+    /// ones.
+    pub fn split(&self, stream: u64) -> SimRng {
+        // Mix seed and stream through SplitMix64 so that adjacent
+        // streams land far apart in seed space.
+        let mut z = self
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        SimRng::from_seed(z)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0.0, 1.0]`.
+    pub fn chance(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // 53 bits of entropy, the full precision of an f64 mantissa.
+        let x = (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x < p
+    }
+
+    /// Picks a uniformly random element of `slice`, or `None` if empty.
+    pub fn pick<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            let i = (self.inner.next_u64() % slice.len() as u64) as usize;
+            Some(&slice[i])
+        }
+    }
+
+    /// Picks a uniformly random index in `0..len`, or `None` if
+    /// `len == 0`.
+    pub fn pick_index(&mut self, len: usize) -> Option<usize> {
+        if len == 0 {
+            None
+        } else {
+            Some((self.inner.next_u64() % len as u64) as usize)
+        }
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::from_seed(1);
+        let mut b = SimRng::from_seed(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SimRng::from_seed(1);
+        let mut b = SimRng::from_seed(2);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn split_is_insensitive_to_consumption() {
+        let mut a = SimRng::from_seed(9);
+        let b = SimRng::from_seed(9);
+        let _ = a.next_u64(); // consume from a only
+        let mut ca = a.split(3);
+        let mut cb = b.split(3);
+        assert_eq!(ca.next_u64(), cb.next_u64());
+    }
+
+    #[test]
+    fn split_streams_are_distinct() {
+        let root = SimRng::from_seed(5);
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..64 {
+            let mut c = root.split(s);
+            assert!(seen.insert(c.next_u64()), "stream {s} collided");
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::from_seed(0);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = SimRng::from_seed(1234);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| r.chance(0.25)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn chance_rejects_bad_probability() {
+        SimRng::from_seed(0).chance(1.5);
+    }
+
+    #[test]
+    fn pick_uniformity_sanity() {
+        let mut r = SimRng::from_seed(77);
+        let items = [0usize, 1, 2, 3];
+        let mut counts = [0usize; 4];
+        for _ in 0..8000 {
+            counts[*r.pick(&items).unwrap()] += 1;
+        }
+        for &c in &counts {
+            assert!((1500..2500).contains(&c), "counts = {counts:?}");
+        }
+        let empty: [usize; 0] = [];
+        assert!(r.pick(&empty).is_none());
+        assert!(r.pick_index(0).is_none());
+    }
+
+    #[test]
+    fn gen_range_works_via_rng_trait() {
+        let mut r = SimRng::from_seed(3);
+        for _ in 0..100 {
+            let v = r.gen_range(0..10u32);
+            assert!(v < 10);
+        }
+    }
+}

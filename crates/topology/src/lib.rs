@@ -1,0 +1,39 @@
+//! Network topologies for the Compressionless Routing reproduction.
+//!
+//! The paper's evaluation runs on k-ary n-cube tori and meshes; one of
+//! CR's advertised advantages is "applicability to a wide variety of
+//! network topologies", so this crate also provides hypercubes and
+//! arbitrary (irregular) graphs behind a single [`Topology`] trait.
+//!
+//! * [`KAryNCube`] — k-ary n-cube **torus** or **mesh** (the paper's
+//!   8×8 and 16×16 tori are `KAryNCube::torus(8, 2)` etc.).
+//! * [`Hypercube`] — binary n-cube.
+//! * [`GraphTopology`] — any strongly-connected directed graph, with
+//!   minimal routes precomputed by breadth-first search.
+//!
+//! # Examples
+//!
+//! ```
+//! use cr_topology::{KAryNCube, Topology};
+//! use cr_sim::NodeId;
+//!
+//! let torus = KAryNCube::torus(8, 2); // the paper's 8x8 torus
+//! assert_eq!(torus.num_nodes(), 64);
+//! // Wraparound makes opposite corners only 2+2 hops apart:
+//! let a = torus.node_at(&[0, 0]);
+//! let b = torus.node_at(&[7, 7]);
+//! assert_eq!(torus.distance(a, b), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cube;
+mod graph;
+mod hypercube;
+mod topology;
+
+pub use cube::KAryNCube;
+pub use graph::GraphTopology;
+pub use hypercube::Hypercube;
+pub use topology::{LinkDesc, Topology};

@@ -1,0 +1,151 @@
+//! Property-based tests over topology invariants.
+//!
+//! Every `Topology` implementation must satisfy the same structural
+//! laws; these tests check them over randomly drawn shapes and node
+//! pairs.
+
+use cr_sim::{NodeId, PortId};
+use cr_topology::{GraphTopology, Hypercube, KAryNCube, Topology};
+use proptest::prelude::*;
+
+/// Checks the invariants shared by all topologies on one instance.
+fn check_invariants(t: &dyn Topology) {
+    let n = t.num_nodes();
+    assert!(n > 0);
+
+    // Link ids are unique and in range.
+    let links = t.links();
+    assert_eq!(links.len(), t.num_links());
+    let mut seen = std::collections::HashSet::new();
+    for l in &links {
+        assert!(seen.insert(l.id));
+        assert!(l.src.index() < n && l.dst.index() < n);
+        // neighbor/arrival agree with the link description.
+        assert_eq!(t.neighbor(l.src, l.src_port), Some(l.dst));
+        assert_eq!(t.arrival_port(l.src, l.src_port), Some(l.dst_port));
+        assert_eq!(t.link(l.src, l.src_port), Some(l.id));
+    }
+
+    // No two links arrive on the same input port of the same node.
+    let mut inputs = std::collections::HashSet::new();
+    for l in &links {
+        assert!(
+            inputs.insert((l.dst, l.dst_port)),
+            "input collision at {:?} {:?}",
+            l.dst,
+            l.dst_port
+        );
+    }
+
+    for a in 0..n {
+        for b in 0..n {
+            let (a, b) = (NodeId::new(a as u32), NodeId::new(b as u32));
+            let d = t.distance(a, b);
+            if a == b {
+                assert_eq!(d, 0);
+                assert!(t.minimal_ports(a, b).is_empty());
+                continue;
+            }
+            assert!(d >= 1);
+            assert!(d <= t.diameter());
+            let ports = t.minimal_ports(a, b);
+            assert!(!ports.is_empty(), "no minimal port {a} -> {b}");
+            // Ascending and distance-reducing.
+            assert!(ports.windows(2).all(|w| w[0] < w[1]));
+            for p in ports {
+                let next = t.neighbor(a, p).expect("minimal port must be connected");
+                assert_eq!(t.distance(next, b) + 1, d);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn cube_invariants(radix in 2usize..6, dims in 1usize..4, wrap in any::<bool>()) {
+        let t = if wrap {
+            KAryNCube::torus(radix, dims)
+        } else {
+            KAryNCube::mesh(radix, dims)
+        };
+        check_invariants(&t);
+    }
+
+    #[test]
+    fn hypercube_invariants(dims in 1usize..6) {
+        check_invariants(&Hypercube::new(dims));
+    }
+
+    #[test]
+    fn random_connected_graph_invariants(n in 3usize..12, extra in 0usize..12, seed in any::<u64>()) {
+        // Ring backbone guarantees strong connectivity, plus random chords.
+        let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as usize
+        };
+        for _ in 0..extra {
+            let a = next() % n;
+            let b = next() % n;
+            if a != b && !edges.contains(&(a, b)) && !edges.contains(&(b, a)) {
+                edges.push((a, b));
+            }
+        }
+        let g = GraphTopology::from_undirected_edges(n, &edges).unwrap();
+        check_invariants(&g);
+    }
+
+    #[test]
+    fn torus_distance_symmetry(radix in 2usize..8, dims in 1usize..3, a in 0u32..64, b in 0u32..64) {
+        let t = KAryNCube::torus(radix, dims);
+        let n = t.num_nodes() as u32;
+        let (a, b) = (NodeId::new(a % n), NodeId::new(b % n));
+        prop_assert_eq!(t.distance(a, b), t.distance(b, a));
+    }
+
+    #[test]
+    fn torus_distance_triangle_inequality(a in 0u32..64, b in 0u32..64, c in 0u32..64) {
+        let t = KAryNCube::torus(8, 2);
+        let (a, b, c) = (NodeId::new(a), NodeId::new(b), NodeId::new(c));
+        prop_assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
+    }
+
+    #[test]
+    fn greedy_walk_reaches_destination(a in 0u32..64, b in 0u32..64) {
+        // Following any minimal port repeatedly must arrive in exactly
+        // `distance` hops.
+        let t = KAryNCube::torus(8, 2);
+        let (mut cur, dst) = (NodeId::new(a), NodeId::new(b));
+        let d = t.distance(cur, dst);
+        for step in 0..d {
+            let ports = t.minimal_ports(cur, dst);
+            prop_assert!(!ports.is_empty(), "stuck at step {step}");
+            // Worst case: always take the last offered port.
+            cur = t.neighbor(cur, *ports.last().unwrap()).unwrap();
+        }
+        prop_assert_eq!(cur, dst);
+    }
+
+    #[test]
+    fn wraparound_channels_only_on_torus_rim(radix in 2usize..6, dims in 1usize..3) {
+        let t = KAryNCube::torus(radix, dims);
+        let m = KAryNCube::mesh(radix, dims);
+        let mut wrap_count = 0usize;
+        for i in 0..t.num_nodes() {
+            let node = NodeId::new(i as u32);
+            for p in 0..t.num_ports(node) {
+                let port = PortId::new(p as u16);
+                if t.is_wraparound(node, port) {
+                    wrap_count += 1;
+                }
+                assert!(!m.is_wraparound(node, port));
+            }
+        }
+        // Each dimension contributes 2 wraparound channels per line, and
+        // there are num_nodes/radix lines per dimension.
+        prop_assert_eq!(wrap_count, dims * 2 * (t.num_nodes() / radix));
+    }
+}

@@ -1,0 +1,144 @@
+//! Message-length distributions.
+
+use cr_sim::SimRng;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of message lengths, in flits (header and tail
+/// included).
+///
+/// The paper's main experiments use fixed 16-flit messages; the
+/// bimodal option reproduces the short/long mixes of the authors'
+/// companion study (reference \[32\]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LengthDistribution {
+    /// Every message has exactly this many flits.
+    Fixed(usize),
+    /// Short/long mix: with probability `long_fraction` a message has
+    /// `long` flits, otherwise `short`.
+    Bimodal {
+        /// Length of short messages, in flits.
+        short: usize,
+        /// Length of long messages, in flits.
+        long: usize,
+        /// Probability of drawing a long message.
+        long_fraction: f64,
+    },
+    /// Uniformly random length in `min..=max` flits.
+    UniformRange {
+        /// Minimum length, in flits.
+        min: usize,
+        /// Maximum length, in flits.
+        max: usize,
+    },
+}
+
+impl LengthDistribution {
+    /// Draws one message length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the distribution parameters are invalid (zero lengths,
+    /// `min > max`, or a fraction outside `\[0, 1\]`).
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        match *self {
+            LengthDistribution::Fixed(len) => {
+                assert!(len >= 2, "a worm needs a header and a tail flit");
+                len
+            }
+            LengthDistribution::Bimodal {
+                short,
+                long,
+                long_fraction,
+            } => {
+                assert!(short >= 2 && long >= short, "invalid bimodal lengths");
+                assert!(
+                    (0.0..=1.0).contains(&long_fraction),
+                    "long_fraction out of range"
+                );
+                if rng.chance(long_fraction) {
+                    long
+                } else {
+                    short
+                }
+            }
+            LengthDistribution::UniformRange { min, max } => {
+                assert!(min >= 2 && max >= min, "invalid length range");
+                min + rng.pick_index(max - min + 1).unwrap_or(0)
+            }
+        }
+    }
+
+    /// Expected message length in flits.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LengthDistribution::Fixed(len) => len as f64,
+            LengthDistribution::Bimodal {
+                short,
+                long,
+                long_fraction,
+            } => short as f64 * (1.0 - long_fraction) + long as f64 * long_fraction,
+            LengthDistribution::UniformRange { min, max } => (min + max) as f64 / 2.0,
+        }
+    }
+
+    /// Largest length this distribution can produce.
+    pub fn max(&self) -> usize {
+        match *self {
+            LengthDistribution::Fixed(len) => len,
+            LengthDistribution::Bimodal { long, .. } => long,
+            LengthDistribution::UniformRange { max, .. } => max,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = SimRng::from_seed(0);
+        let d = LengthDistribution::Fixed(16);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 16);
+        }
+        assert_eq!(d.mean(), 16.0);
+        assert_eq!(d.max(), 16);
+    }
+
+    #[test]
+    fn bimodal_mixes() {
+        let mut rng = SimRng::from_seed(1);
+        let d = LengthDistribution::Bimodal {
+            short: 4,
+            long: 64,
+            long_fraction: 0.25,
+        };
+        let n = 20_000;
+        let longs = (0..n).filter(|_| d.sample(&mut rng) == 64).count();
+        let frac = longs as f64 / n as f64;
+        assert!((frac - 0.25).abs() < 0.02, "frac = {frac}");
+        assert_eq!(d.mean(), 4.0 * 0.75 + 64.0 * 0.25);
+        assert_eq!(d.max(), 64);
+    }
+
+    #[test]
+    fn uniform_range_covers_extremes() {
+        let mut rng = SimRng::from_seed(2);
+        let d = LengthDistribution::UniformRange { min: 2, max: 5 };
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let l = d.sample(&mut rng);
+            assert!((2..=5).contains(&l));
+            seen.insert(l);
+        }
+        assert_eq!(seen.len(), 4);
+        assert_eq!(d.mean(), 3.5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn one_flit_messages_rejected() {
+        LengthDistribution::Fixed(1).sample(&mut SimRng::from_seed(0));
+    }
+}

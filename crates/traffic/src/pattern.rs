@@ -1,0 +1,261 @@
+//! Destination-selection patterns.
+
+use cr_sim::{NodeId, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// How a source node chooses message destinations.
+///
+/// The permutation patterns (`Transpose`, `BitReversal`,
+/// `BitComplement`, `Shuffle`) interpret node indices as bit strings and
+/// therefore require the node count to be a power of two; they are the
+/// classic adversarial patterns for dimension-order routing, which is
+/// exactly why the paper predicts CR's advantage grows on them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Uniformly random destination (excluding the source itself) — the
+    /// paper's primary workload.
+    Uniform,
+    /// `dst = transpose(src)`: with `2b` address bits, swaps the high
+    /// and low halves. On a square 2-D network this sends `(x, y)` to
+    /// `(y, x)`.
+    Transpose,
+    /// `dst = bit-reverse(src)`.
+    BitReversal,
+    /// `dst = ~src` (complement every address bit).
+    BitComplement,
+    /// `dst = rotate-left-1(src)` (perfect shuffle).
+    Shuffle,
+    /// With probability `fraction`, send to `hotspot`; otherwise pick
+    /// uniformly.
+    Hotspot {
+        /// The congested destination.
+        hotspot: NodeId,
+        /// Fraction of traffic aimed at the hotspot.
+        fraction: f64,
+    },
+    /// Every node sends to the node diametrically opposite in index
+    /// space (`dst = (src + N/2) mod N`) — worst case distance on a
+    /// torus.
+    Tornado,
+}
+
+impl TrafficPattern {
+    /// Returns `true` if the pattern requires a power-of-two node count.
+    pub fn requires_power_of_two(&self) -> bool {
+        matches!(
+            self,
+            TrafficPattern::Transpose
+                | TrafficPattern::BitReversal
+                | TrafficPattern::BitComplement
+                | TrafficPattern::Shuffle
+        )
+    }
+
+    /// Draws a destination for a message from `src` in a network of
+    /// `num_nodes` nodes, or `None` if the pattern maps `src` to itself
+    /// (deterministic patterns may have fixed points; those sources
+    /// simply stay silent, the standard convention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern requires a power-of-two node count and
+    /// `num_nodes` is not one, if `num_nodes < 2`, or if a `Hotspot`
+    /// fraction is outside `[0, 1]`.
+    pub fn destination(
+        &self,
+        src: NodeId,
+        num_nodes: usize,
+        rng: &mut SimRng,
+    ) -> Option<NodeId> {
+        assert!(num_nodes >= 2, "need at least two nodes");
+        if self.requires_power_of_two() {
+            assert!(
+                num_nodes.is_power_of_two(),
+                "{self:?} requires a power-of-two node count, got {num_nodes}"
+            );
+        }
+        let s = src.index();
+        let bits = num_nodes.trailing_zeros() as usize;
+        let dst = match *self {
+            TrafficPattern::Uniform => {
+                // Draw from the N-1 non-self nodes directly.
+                let r = rng.pick_index(num_nodes - 1).expect("num_nodes >= 2");
+                if r >= s {
+                    r + 1
+                } else {
+                    r
+                }
+            }
+            TrafficPattern::Transpose => {
+                let half = bits / 2;
+                let low = s & ((1 << half) - 1);
+                let high = s >> half;
+                (low << (bits - half)) | high
+            }
+            TrafficPattern::BitReversal => {
+                let mut v = 0usize;
+                for i in 0..bits {
+                    if s & (1 << i) != 0 {
+                        v |= 1 << (bits - 1 - i);
+                    }
+                }
+                v
+            }
+            TrafficPattern::BitComplement => !s & (num_nodes - 1),
+            TrafficPattern::Shuffle => ((s << 1) | (s >> (bits - 1))) & (num_nodes - 1),
+            TrafficPattern::Hotspot { hotspot, fraction } => {
+                assert!(
+                    (0.0..=1.0).contains(&fraction),
+                    "hotspot fraction out of range"
+                );
+                assert!(hotspot.index() < num_nodes, "hotspot out of range");
+                if rng.chance(fraction) && hotspot.index() != s {
+                    hotspot.index()
+                } else {
+                    let r = rng.pick_index(num_nodes - 1).expect("num_nodes >= 2");
+                    if r >= s {
+                        r + 1
+                    } else {
+                        r
+                    }
+                }
+            }
+            TrafficPattern::Tornado => (s + num_nodes / 2) % num_nodes,
+        };
+        if dst == s {
+            None
+        } else {
+            Some(NodeId::new(dst as u32))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::from_seed(11)
+    }
+
+    #[test]
+    fn uniform_never_self_and_covers_all() {
+        let mut r = rng();
+        let src = NodeId::new(5);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let d = TrafficPattern::Uniform.destination(src, 16, &mut r).unwrap();
+            assert_ne!(d, src);
+            seen.insert(d);
+        }
+        assert_eq!(seen.len(), 15, "all non-self nodes should appear");
+    }
+
+    #[test]
+    fn transpose_swaps_coordinates() {
+        // 64 nodes = 8x8; node index = y*8 + x; transpose maps
+        // bits [b5..b3 | b2..b0] -> [b2..b0 | b5..b3], i.e. (x,y)->(y,x).
+        let mut r = rng();
+        let src = NodeId::new(3 + 8 * 6); // (x=3, y=6)
+        let dst = TrafficPattern::Transpose
+            .destination(src, 64, &mut r)
+            .unwrap();
+        assert_eq!(dst, NodeId::new(6 + 8 * 3)); // (x=6, y=3)
+    }
+
+    #[test]
+    fn transpose_fixed_points_are_silent() {
+        let mut r = rng();
+        let src = NodeId::new(2 + 8 * 2); // (2,2) is on the diagonal
+        assert_eq!(
+            TrafficPattern::Transpose.destination(src, 64, &mut r),
+            None
+        );
+    }
+
+    #[test]
+    fn bit_reversal_matches_manual() {
+        let mut r = rng();
+        // 16 nodes, 4 bits: 0b0001 -> 0b1000.
+        let dst = TrafficPattern::BitReversal
+            .destination(NodeId::new(1), 16, &mut r)
+            .unwrap();
+        assert_eq!(dst, NodeId::new(8));
+    }
+
+    #[test]
+    fn bit_complement_is_involution() {
+        let mut r = rng();
+        for s in 0..32u32 {
+            if let Some(d) = TrafficPattern::BitComplement.destination(NodeId::new(s), 32, &mut r)
+            {
+                let back = TrafficPattern::BitComplement
+                    .destination(d, 32, &mut r)
+                    .unwrap();
+                assert_eq!(back, NodeId::new(s));
+            }
+        }
+    }
+
+    #[test]
+    fn shuffle_rotates_bits() {
+        let mut r = rng();
+        // 16 nodes: 0b1001 -> 0b0011.
+        let dst = TrafficPattern::Shuffle
+            .destination(NodeId::new(0b1001), 16, &mut r)
+            .unwrap();
+        assert_eq!(dst, NodeId::new(0b0011));
+    }
+
+    #[test]
+    fn tornado_goes_halfway() {
+        let mut r = rng();
+        let dst = TrafficPattern::Tornado
+            .destination(NodeId::new(3), 64, &mut r)
+            .unwrap();
+        assert_eq!(dst, NodeId::new(35));
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let mut r = rng();
+        let hotspot = NodeId::new(0);
+        let p = TrafficPattern::Hotspot {
+            hotspot,
+            fraction: 0.5,
+        };
+        let n = 4000;
+        let hits = (0..n)
+            .filter(|_| p.destination(NodeId::new(9), 64, &mut r) == Some(hotspot))
+            .count();
+        let frac = hits as f64 / n as f64;
+        // 0.5 directed + ~0.5/63 of the uniform remainder.
+        assert!((frac - 0.508).abs() < 0.05, "frac = {frac}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn permutations_demand_power_of_two() {
+        let mut r = rng();
+        let _ = TrafficPattern::BitReversal.destination(NodeId::new(0), 12, &mut r);
+    }
+
+    #[test]
+    fn permutations_are_within_range() {
+        let mut r = rng();
+        for pat in [
+            TrafficPattern::Transpose,
+            TrafficPattern::BitReversal,
+            TrafficPattern::BitComplement,
+            TrafficPattern::Shuffle,
+            TrafficPattern::Tornado,
+        ] {
+            for s in 0..64u32 {
+                if let Some(d) = pat.destination(NodeId::new(s), 64, &mut r) {
+                    assert!(d.index() < 64, "{pat:?} escaped range");
+                    assert_ne!(d.index(), s as usize);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! The per-node Bernoulli traffic source.
+
+use crate::{LengthDistribution, TrafficPattern};
+use cr_sim::{NodeId, SimRng};
+
+/// A request to send one message, produced by a [`TrafficSource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageRequest {
+    /// Destination node.
+    pub dst: NodeId,
+    /// Message length in flits (header and tail included).
+    pub length: usize,
+}
+
+/// An open-loop Bernoulli message source for one node.
+///
+/// Each cycle, [`TrafficSource::poll`] generates a message with
+/// probability `load / mean_length`, so that the long-run *offered
+/// load* equals `load` flits per node per cycle — the normalization the
+/// paper's throughput axes use. The source is open-loop: generation
+/// never slows down when the network backs up, which is what drives
+/// networks past saturation in the latency/throughput sweeps.
+///
+/// # Examples
+///
+/// ```
+/// use cr_traffic::{LengthDistribution, TrafficPattern, TrafficSource};
+/// use cr_sim::{NodeId, SimRng};
+///
+/// let mut src = TrafficSource::new(
+///     NodeId::new(0), 16,
+///     TrafficPattern::Uniform,
+///     LengthDistribution::Fixed(8),
+///     0.4,
+///     SimRng::from_seed(5),
+/// );
+/// let msgs: usize = (0..1000).filter_map(|_| src.poll()).count();
+/// // 0.4 flits/cycle at 8 flits/message = 0.05 msg/cycle -> ~50.
+/// assert!((30..70).contains(&msgs), "msgs = {msgs}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrafficSource {
+    node: NodeId,
+    num_nodes: usize,
+    pattern: TrafficPattern,
+    lengths: LengthDistribution,
+    message_rate: f64,
+    rng: SimRng,
+    generated: u64,
+}
+
+impl TrafficSource {
+    /// Creates a source for `node` in a network of `num_nodes` nodes,
+    /// offering `load` flits per node per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is negative, if the implied message rate
+    /// exceeds 1 per cycle (raise the message length or lower the
+    /// load), or if `num_nodes < 2`.
+    pub fn new(
+        node: NodeId,
+        num_nodes: usize,
+        pattern: TrafficPattern,
+        lengths: LengthDistribution,
+        load: f64,
+        rng: SimRng,
+    ) -> Self {
+        assert!(num_nodes >= 2, "need at least two nodes");
+        assert!(load >= 0.0, "load must be non-negative");
+        let message_rate = load / lengths.mean();
+        assert!(
+            message_rate <= 1.0,
+            "offered load {load} exceeds one message per cycle at mean length {}",
+            lengths.mean()
+        );
+        TrafficSource {
+            node,
+            num_nodes,
+            pattern,
+            lengths,
+            message_rate,
+            rng,
+            generated: 0,
+        }
+    }
+
+    /// The node this source belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Number of messages generated so far.
+    pub fn generated(&self) -> u64 {
+        self.generated
+    }
+
+    /// Advances one cycle; returns a message request if one was
+    /// generated this cycle.
+    ///
+    /// Deterministic-pattern fixed points (e.g. the transpose diagonal)
+    /// consume a Bernoulli draw but produce nothing, matching the usual
+    /// convention that such nodes are silent.
+    pub fn poll(&mut self) -> Option<MessageRequest> {
+        if !self.rng.chance(self.message_rate) {
+            return None;
+        }
+        let dst = self
+            .pattern
+            .destination(self.node, self.num_nodes, &mut self.rng)?;
+        let length = self.lengths.sample(&mut self.rng);
+        self.generated += 1;
+        Some(MessageRequest { dst, length })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn source(load: f64, seed: u64) -> TrafficSource {
+        TrafficSource::new(
+            NodeId::new(1),
+            64,
+            TrafficPattern::Uniform,
+            LengthDistribution::Fixed(16),
+            load,
+            SimRng::from_seed(seed),
+        )
+    }
+
+    #[test]
+    fn offered_load_is_calibrated() {
+        let mut s = source(0.32, 7);
+        let cycles = 100_000;
+        let mut flits = 0usize;
+        for _ in 0..cycles {
+            if let Some(m) = s.poll() {
+                flits += m.length;
+            }
+        }
+        let load = flits as f64 / cycles as f64;
+        assert!((load - 0.32).abs() < 0.02, "measured load = {load}");
+        assert_eq!(s.generated() as usize, flits / 16);
+    }
+
+    #[test]
+    fn zero_load_is_silent() {
+        let mut s = source(0.0, 3);
+        for _ in 0..1000 {
+            assert!(s.poll().is_none());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = source(0.5, 42);
+        let mut b = source(0.5, 42);
+        for _ in 0..1000 {
+            assert_eq!(a.poll(), b.poll());
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn impossible_load_rejected() {
+        // 20 flits/cycle at 16-flit messages needs >1 message/cycle.
+        let _ = source(20.0, 0);
+    }
+
+    #[test]
+    fn transpose_diagonal_nodes_stay_silent() {
+        let mut s = TrafficSource::new(
+            NodeId::new(0), // (0,0) is a transpose fixed point
+            64,
+            TrafficPattern::Transpose,
+            LengthDistribution::Fixed(8),
+            0.9,
+            SimRng::from_seed(1),
+        );
+        for _ in 0..1000 {
+            assert!(s.poll().is_none());
+        }
+        assert_eq!(s.generated(), 0);
+    }
+}

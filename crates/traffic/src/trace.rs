@@ -1,0 +1,230 @@
+//! Trace-driven workloads: replay an explicit list of timed messages.
+//!
+//! Synthetic open-loop traffic answers "how does the network behave at
+//! load X"; traces answer "how fast does *this application's*
+//! communication finish". The generators below produce the classic
+//! parallel-application shapes on any topology: bulk-synchronous
+//! phases of neighbor exchange, all-to-one reductions, and permutation
+//! bursts.
+
+use cr_sim::{Cycle, NodeId, SimRng};
+use serde::{Deserialize, Serialize};
+
+/// One timed message in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Cycle at which the source hands the message to its injector.
+    pub at: Cycle,
+    /// Source node.
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Payload length in flits.
+    pub length: u32,
+}
+
+/// A time-ordered list of messages to inject.
+///
+/// # Examples
+///
+/// ```
+/// use cr_traffic::{Trace, TraceEvent};
+/// use cr_sim::{Cycle, NodeId};
+///
+/// let trace = Trace::from_events(vec![
+///     TraceEvent { at: Cycle::new(10), src: NodeId::new(0), dst: NodeId::new(1), length: 8 },
+///     TraceEvent { at: Cycle::new(0),  src: NodeId::new(1), dst: NodeId::new(2), length: 8 },
+/// ]);
+/// assert_eq!(trace.len(), 2);
+/// // Events are kept sorted by time:
+/// assert_eq!(trace.events()[0].at, Cycle::new(0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Builds a trace, sorting events by injection time (stable, so
+    /// equal-time events keep their given order).
+    pub fn from_events(mut events: Vec<TraceEvent>) -> Self {
+        events.sort_by_key(|e| e.at);
+        Trace { events }
+    }
+
+    /// The events, sorted by time.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of messages in the trace.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Time of the last injection.
+    pub fn end(&self) -> Cycle {
+        self.events.last().map(|e| e.at).unwrap_or(Cycle::ZERO)
+    }
+
+    /// Total payload flits.
+    pub fn total_flits(&self) -> u64 {
+        self.events.iter().map(|e| u64::from(e.length)).sum()
+    }
+
+    /// Concatenates another trace, shifted by `offset` cycles.
+    pub fn chain(mut self, other: &Trace, offset: u64) -> Self {
+        self.events.extend(other.events.iter().map(|e| TraceEvent {
+            at: e.at + offset,
+            ..*e
+        }));
+        Trace::from_events(self.events)
+    }
+
+    /// Bulk-synchronous **neighbor exchange**: at each phase start,
+    /// every node sends one `length`-flit message to each of its
+    /// topology neighbors (the halo exchange of stencil codes).
+    ///
+    /// `phases` rounds separated by `compute_gap` cycles of silence.
+    pub fn neighbor_exchange(
+        topo: &dyn cr_topology::Topology,
+        phases: usize,
+        compute_gap: u64,
+        length: u32,
+    ) -> Self {
+        let mut events = Vec::new();
+        for phase in 0..phases {
+            let at = Cycle::new(phase as u64 * compute_gap);
+            for i in 0..topo.num_nodes() {
+                let src = NodeId::new(i as u32);
+                for p in 0..topo.num_ports(src) {
+                    if let Some(dst) = topo.neighbor(src, cr_sim::PortId::new(p as u16)) {
+                        if dst != src {
+                            events.push(TraceEvent {
+                                at,
+                                src,
+                                dst,
+                                length,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Trace::from_events(events)
+    }
+
+    /// **All-to-one reduction**: every node sends one message to
+    /// `root` at time `at` (the classic hotspot burst).
+    pub fn reduction(num_nodes: usize, root: NodeId, at: Cycle, length: u32) -> Self {
+        let events = (0..num_nodes)
+            .filter(|&i| i != root.index())
+            .map(|i| TraceEvent {
+                at,
+                src: NodeId::new(i as u32),
+                dst: root,
+                length,
+            })
+            .collect();
+        Trace::from_events(events)
+    }
+
+    /// **Random permutation burst**: every node sends one message to a
+    /// distinct random partner at time `at` (an all-to-all exchange
+    /// step).
+    pub fn permutation(num_nodes: usize, at: Cycle, length: u32, rng: &mut SimRng) -> Self {
+        // Fisher–Yates a derangement-ish permutation (fixed points are
+        // simply skipped — those nodes stay silent this burst).
+        let mut perm: Vec<usize> = (0..num_nodes).collect();
+        for i in (1..num_nodes).rev() {
+            let j = rng.pick_index(i + 1).expect("non-empty");
+            perm.swap(i, j);
+        }
+        let events = (0..num_nodes)
+            .filter(|&i| perm[i] != i)
+            .map(|i| TraceEvent {
+                at,
+                src: NodeId::new(i as u32),
+                dst: NodeId::new(perm[i] as u32),
+                length,
+            })
+            .collect();
+        Trace::from_events(events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cr_topology::KAryNCube;
+
+    #[test]
+    fn events_are_sorted_and_counted() {
+        let t = Trace::from_events(vec![
+            TraceEvent {
+                at: Cycle::new(5),
+                src: NodeId::new(0),
+                dst: NodeId::new(1),
+                length: 4,
+            },
+            TraceEvent {
+                at: Cycle::new(1),
+                src: NodeId::new(1),
+                dst: NodeId::new(0),
+                length: 6,
+            },
+        ]);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.events()[0].at, Cycle::new(1));
+        assert_eq!(t.end(), Cycle::new(5));
+        assert_eq!(t.total_flits(), 10);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn neighbor_exchange_covers_every_channel_direction() {
+        let topo = KAryNCube::torus(4, 2);
+        let t = Trace::neighbor_exchange(&topo, 2, 100, 8);
+        // Each node sends to 4 neighbors, 16 nodes, 2 phases.
+        assert_eq!(t.len(), 4 * 16 * 2);
+        assert!(t.events().iter().all(|e| e.src != e.dst));
+        assert_eq!(t.end(), Cycle::new(100));
+        // Phase 2 events all at t=100.
+        let late = t.events().iter().filter(|e| e.at == Cycle::new(100)).count();
+        assert_eq!(late, 64);
+    }
+
+    #[test]
+    fn reduction_targets_the_root() {
+        let t = Trace::reduction(16, NodeId::new(3), Cycle::new(7), 4);
+        assert_eq!(t.len(), 15);
+        assert!(t.events().iter().all(|e| e.dst == NodeId::new(3)));
+        assert!(t.events().iter().all(|e| e.src != NodeId::new(3)));
+    }
+
+    #[test]
+    fn permutation_is_a_partial_permutation() {
+        let mut rng = SimRng::from_seed(4);
+        let t = Trace::permutation(16, Cycle::ZERO, 8, &mut rng);
+        assert!(t.len() >= 13, "few fixed points expected, got {}", t.len());
+        let mut dsts: Vec<u32> = t.events().iter().map(|e| e.dst.as_u32()).collect();
+        dsts.sort_unstable();
+        dsts.dedup();
+        assert_eq!(dsts.len(), t.len(), "destinations are distinct");
+        assert!(t.events().iter().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    fn chain_offsets_the_second_trace() {
+        let a = Trace::reduction(4, NodeId::new(0), Cycle::ZERO, 2);
+        let b = Trace::reduction(4, NodeId::new(1), Cycle::ZERO, 2);
+        let c = a.clone().chain(&b, 50);
+        assert_eq!(c.len(), a.len() + b.len());
+        assert_eq!(c.end(), Cycle::new(50));
+    }
+}

@@ -1,0 +1,118 @@
+//! Property-based tests of the traffic generators.
+
+use cr_sim::{NodeId, SimRng};
+use cr_traffic::{LengthDistribution, TrafficPattern, TrafficSource};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every pattern keeps destinations in range and never
+    /// self-addresses, on any power-of-two network.
+    #[test]
+    fn destinations_in_range_never_self(
+        bits in 2u32..7,
+        src in 0u32..64,
+        seed in any::<u64>(),
+    ) {
+        let n = 1usize << bits;
+        let src = NodeId::new(src % n as u32);
+        let mut rng = SimRng::from_seed(seed);
+        let patterns = [
+            TrafficPattern::Uniform,
+            TrafficPattern::Transpose,
+            TrafficPattern::BitReversal,
+            TrafficPattern::BitComplement,
+            TrafficPattern::Shuffle,
+            TrafficPattern::Tornado,
+            TrafficPattern::Hotspot { hotspot: NodeId::new(0), fraction: 0.3 },
+        ];
+        for p in patterns {
+            for _ in 0..8 {
+                if let Some(d) = p.destination(src, n, &mut rng) {
+                    prop_assert!(d.index() < n, "{p:?} out of range");
+                    prop_assert_ne!(d, src, "{:?} self-addressed", p);
+                }
+            }
+        }
+    }
+
+    /// Deterministic permutations are injective over the whole node
+    /// set (counting silent fixed points as mapped to themselves).
+    #[test]
+    fn permutations_are_injective(bits in 2u32..7) {
+        let n = 1usize << bits;
+        let mut rng = SimRng::from_seed(1);
+        for p in [
+            TrafficPattern::Transpose,
+            TrafficPattern::BitReversal,
+            TrafficPattern::BitComplement,
+            TrafficPattern::Shuffle,
+            TrafficPattern::Tornado,
+        ] {
+            let mut seen = std::collections::HashSet::new();
+            for s in 0..n {
+                let src = NodeId::new(s as u32);
+                let d = p.destination(src, n, &mut rng).unwrap_or(src);
+                prop_assert!(seen.insert(d), "{p:?} not injective at {s}");
+            }
+        }
+    }
+
+    /// The measured offered load tracks the configured load for any
+    /// length distribution.
+    #[test]
+    fn offered_load_calibrated(
+        load_millis in 10u32..800,
+        len in 2usize..40,
+        seed in any::<u64>(),
+    ) {
+        let load = f64::from(load_millis) / 1000.0;
+        let mut src = TrafficSource::new(
+            NodeId::new(0),
+            64,
+            TrafficPattern::Uniform,
+            LengthDistribution::Fixed(len),
+            load,
+            SimRng::from_seed(seed),
+        );
+        let cycles = 30_000;
+        let mut flits = 0usize;
+        for _ in 0..cycles {
+            if let Some(m) = src.poll() {
+                flits += m.length;
+            }
+        }
+        let measured = flits as f64 / cycles as f64;
+        prop_assert!(
+            (measured - load).abs() < 0.05 + load * 0.12,
+            "configured {load}, measured {measured}"
+        );
+    }
+
+    /// Length distributions always return lengths within their stated
+    /// support.
+    #[test]
+    fn lengths_stay_in_support(
+        short in 2usize..10,
+        extra in 0usize..50,
+        frac_millis in 0u32..=1000,
+        seed in any::<u64>(),
+    ) {
+        let long = short + extra;
+        let d = LengthDistribution::Bimodal {
+            short,
+            long,
+            long_fraction: f64::from(frac_millis) / 1000.0,
+        };
+        let mut rng = SimRng::from_seed(seed);
+        for _ in 0..64 {
+            let l = d.sample(&mut rng);
+            prop_assert!(l == short || l == long);
+            prop_assert!(l <= d.max());
+        }
+        let u = LengthDistribution::UniformRange { min: short, max: long };
+        for _ in 0..64 {
+            let l = u.sample(&mut rng);
+            prop_assert!((short..=long).contains(&l));
+        }
+    }
+}

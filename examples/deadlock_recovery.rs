@@ -1,0 +1,56 @@
+//! The paper's headline claim, live: fully-adaptive wormhole routing
+//! on a torus **deadlocks** under load — and the *same* routing
+//! function becomes deadlock-free when Compressionless Routing's
+//! kill-and-retransmit recovery is layered on top, with **zero**
+//! virtual channels spent on deadlock avoidance.
+//!
+//! ```sh
+//! cargo run --release --example deadlock_recovery
+//! ```
+
+use compressionless_routing::prelude::*;
+
+fn run(protocol: ProtocolKind) -> SimReport {
+    let mut net = NetworkBuilder::new(KAryNCube::torus(4, 2))
+        .routing(RoutingKind::Adaptive { vcs: 1 })
+        .protocol(protocol)
+        .buffer_depth(1)
+        .deadlock_threshold(2_000)
+        .traffic(TrafficPattern::Uniform, LengthDistribution::Fixed(16), 0.45)
+        .seed(11)
+        .build();
+    net.run(30_000)
+}
+
+fn main() {
+    println!("Minimal fully-adaptive routing, 4x4 torus, heavy uniform load.\n");
+
+    println!("-- plain wormhole switching (no CR) --");
+    let baseline = run(ProtocolKind::Baseline);
+    println!(
+        "deadlocked: {} after delivering {} messages",
+        baseline.deadlocked, baseline.counters.messages_delivered
+    );
+    assert!(
+        baseline.deadlocked,
+        "adaptive wormhole routing on a torus must deadlock"
+    );
+
+    println!("\n-- same routing, with Compressionless Routing --");
+    let cr = run(ProtocolKind::Cr);
+    println!(
+        "deadlocked: {}; delivered {} messages, recovering from {} potential deadlocks \
+         ({} retransmissions)",
+        cr.deadlocked,
+        cr.counters.messages_delivered,
+        cr.counters.kills_source_timeout,
+        cr.counters.retransmissions
+    );
+    assert!(!cr.deadlocked);
+
+    println!(
+        "\nCR turned a deadlocking network into a working one using the \
+         flow-control handshake alone — no virtual channels, no routing \
+         restrictions."
+    );
+}

@@ -1,0 +1,71 @@
+//! # Compressionless Routing
+//!
+//! A complete, cycle-accurate reproduction of **"Compressionless
+//! Routing: A Framework for Adaptive and Fault-tolerant Routing"**
+//! (Kim, Liu & Chien, ISCA 1994 / IEEE TPDS), including the wormhole
+//! network simulator it needs as a substrate, the dimension-order and
+//! Duato baselines it compares against, and a harness regenerating
+//! every table and figure of its evaluation.
+//!
+//! This crate is a facade: it re-exports the workspace's crates under
+//! one roof. Start with [`core`] (the CR/FCR protocol and the
+//! [`core::NetworkBuilder`] entry point), then explore:
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`core`] | `cr-core` | CR/FCR protocol engines, the network simulation, [`core::NetworkBuilder`] |
+//! | [`router`] | `cr-router` | Wormhole router microarchitecture and routing algorithms |
+//! | [`topology`] | `cr-topology` | Tori, meshes, hypercubes, arbitrary graphs |
+//! | [`traffic`] | `cr-traffic` | Synthetic workloads |
+//! | [`faults`] | `cr-faults` | Transient and permanent fault models |
+//! | [`metrics`] | `cr-metrics` | Statistics plumbing |
+//! | [`sim`] | `cr-sim` | Identifiers, cycles, RNG, FIFOs |
+//! | [`experiments`] | `cr-experiments` | Per-figure experiment runners |
+//!
+//! # Quick start
+//!
+//! ```
+//! use compressionless_routing::prelude::*;
+//!
+//! // The paper's network: an 8x8 torus, minimal fully-adaptive
+//! // routing with zero virtual channels, made deadlock-free by CR.
+//! let mut net = NetworkBuilder::new(KAryNCube::torus(8, 2))
+//!     .routing(RoutingKind::Adaptive { vcs: 1 })
+//!     .protocol(ProtocolKind::Cr)
+//!     .traffic(TrafficPattern::Uniform, LengthDistribution::Fixed(16), 0.2)
+//!     .seed(42)
+//!     .build();
+//!
+//! let report = net.run(10_000);
+//! assert!(!report.deadlocked);
+//! assert_eq!(report.counters.corrupt_payload_delivered, 0);
+//! println!("{report}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cr_core as core;
+pub use cr_experiments as experiments;
+pub use cr_faults as faults;
+pub use cr_metrics as metrics;
+pub use cr_router as router;
+pub use cr_sim as sim;
+pub use cr_topology as topology;
+pub use cr_traffic as traffic;
+
+/// The most common imports, bundled.
+///
+/// ```
+/// use compressionless_routing::prelude::*;
+/// let _builder = NetworkBuilder::new(KAryNCube::torus(4, 2));
+/// ```
+pub mod prelude {
+    pub use cr_core::{
+        Network, NetworkBuilder, ProtocolKind, RetransmitScheme, RoutingKind, SimReport,
+    };
+    pub use cr_faults::FaultModel;
+    pub use cr_sim::{Cycle, MessageId, NodeId, SimRng};
+    pub use cr_topology::{GraphTopology, Hypercube, KAryNCube, Topology};
+    pub use cr_traffic::{LengthDistribution, TrafficPattern};
+}
