@@ -1,195 +1,163 @@
-//! One Criterion benchmark per paper artifact.
+//! One benchmark per paper artifact.
 //!
 //! Each benchmark runs its experiment end-to-end at `Scale::Tiny` with
 //! trimmed parameter lists, so `cargo bench` both (a) regenerates every
 //! table/figure shape in miniature and (b) tracks the wall-clock cost
 //! of each experiment. Full paper-scale numbers come from the
-//! `cr-experiments` binaries.
+//! `cr-experiments` binaries. Results land in
+//! `target/bench/BENCH_figures.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use cr_bench::harness::Group;
 use cr_experiments::{
     ext_ablation, ext_distribution, ext_nonuniform, ext_par, fig09, fig10, fig11, fig12,
     fig14ab, fig14cd, fig14ef, fig15, fig16, tab_hardware, tab_padding, tab_pds, Scale,
 };
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
+fn main() {
+    let mut g = Group::new("figures");
     g.sample_size(10);
 
-    g.bench_function("fig09_cr_base", |b| {
-        b.iter(|| {
-            fig09::run(&fig09::Config {
-                scale: Scale::Tiny,
-                message_lengths: vec![16],
-                seed: 1,
-            })
+    g.bench("fig09_cr_base", || {
+        fig09::run(&fig09::Config {
+            scale: Scale::Tiny,
+            message_lengths: vec![16],
+            seed: 1,
         })
     });
 
-    g.bench_function("fig10_timeout", |b| {
-        b.iter(|| {
-            fig10::run(&fig10::Config {
-                scale: Scale::Tiny,
-                timeouts: vec![8, 64],
-                loads: vec![0.3],
-                message_len: 16,
-                seed: 2,
-            })
+    g.bench("fig10_timeout", || {
+        fig10::run(&fig10::Config {
+            scale: Scale::Tiny,
+            timeouts: vec![8, 64],
+            loads: vec![0.3],
+            message_len: 16,
+            seed: 2,
         })
     });
 
-    g.bench_function("fig11_backoff", |b| {
-        b.iter(|| {
-            fig11::run(&fig11::Config {
-                scale: Scale::Tiny,
-                static_gaps: vec![16],
-                timeout: 32,
-                message_len: 16,
-                seed: 3,
-            })
+    g.bench("fig11_backoff", || {
+        fig11::run(&fig11::Config {
+            scale: Scale::Tiny,
+            static_gaps: vec![16],
+            timeout: 32,
+            message_len: 16,
+            seed: 3,
         })
     });
 
-    g.bench_function("fig12_killscheme", |b| {
-        b.iter(|| {
-            fig12::run(&fig12::Config {
-                scale: Scale::Tiny,
-                timeout: 32,
-                message_len: 16,
-                extra_loads: vec![0.55],
-                seed: 4,
-            })
+    g.bench("fig12_killscheme", || {
+        fig12::run(&fig12::Config {
+            scale: Scale::Tiny,
+            timeout: 32,
+            message_len: 16,
+            extra_loads: vec![0.55],
+            seed: 4,
         })
     });
 
-    g.bench_function("fig14ab_buffers", |b| {
-        b.iter(|| {
-            fig14ab::run(&fig14ab::Config {
-                scale: Scale::Tiny,
-                dor_depths: vec![2, 16],
-                cr_depths: vec![2],
-                message_len: 16,
-                seed: 5,
-            })
+    g.bench("fig14ab_buffers", || {
+        fig14ab::run(&fig14ab::Config {
+            scale: Scale::Tiny,
+            dor_depths: vec![2, 16],
+            cr_depths: vec![2],
+            message_len: 16,
+            seed: 5,
         })
     });
 
-    g.bench_function("fig14cd_vcs", |b| {
-        b.iter(|| {
-            fig14cd::run(&fig14cd::Config {
-                scale: Scale::Tiny,
-                vc_counts: vec![2],
-                dor_total_buffer: 8,
-                message_len: 16,
-                seed: 6,
-            })
+    g.bench("fig14cd_vcs", || {
+        fig14cd::run(&fig14cd::Config {
+            scale: Scale::Tiny,
+            vc_counts: vec![2],
+            dor_total_buffer: 8,
+            message_len: 16,
+            seed: 6,
         })
     });
 
-    g.bench_function("fig14ef_interface", |b| {
-        b.iter(|| {
-            fig14ef::run(&fig14ef::Config {
-                scale: Scale::Tiny,
-                channels: vec![1, 2],
-                message_len: 16,
-                seed: 7,
-            })
+    g.bench("fig14ef_interface", || {
+        fig14ef::run(&fig14ef::Config {
+            scale: Scale::Tiny,
+            channels: vec![1, 2],
+            message_len: 16,
+            seed: 7,
         })
     });
 
-    g.bench_function("fig15_fcr_transient", |b| {
-        b.iter(|| {
-            fig15::run(&fig15::Config {
-                scale: Scale::Tiny,
-                fault_rates: vec![0.0, 1e-3],
-                load: 0.15,
-                message_len: 12,
-                seed: 8,
-            })
+    g.bench("fig15_fcr_transient", || {
+        fig15::run(&fig15::Config {
+            scale: Scale::Tiny,
+            fault_rates: vec![0.0, 1e-3],
+            load: 0.15,
+            message_len: 12,
+            seed: 8,
         })
     });
 
-    g.bench_function("fig16_fcr_permanent", |b| {
-        b.iter(|| {
-            fig16::run(&fig16::Config {
-                scale: Scale::Tiny,
-                dead_links: vec![0, 4],
-                load: 0.1,
-                message_len: 12,
-                misroute_budget: 8,
-                seed: 9,
-            })
+    g.bench("fig16_fcr_permanent", || {
+        fig16::run(&fig16::Config {
+            scale: Scale::Tiny,
+            dead_links: vec![0, 4],
+            load: 0.1,
+            message_len: 12,
+            misroute_budget: 8,
+            seed: 9,
         })
     });
 
-    g.bench_function("tab_pds", |b| {
-        b.iter(|| {
-            tab_pds::run(&tab_pds::Config {
-                scale: Scale::Tiny,
-                adaptive_vcs: 1,
-                message_len: 16,
-                seed: 10,
-            })
+    g.bench("tab_pds", || {
+        tab_pds::run(&tab_pds::Config {
+            scale: Scale::Tiny,
+            adaptive_vcs: 1,
+            message_len: 16,
+            seed: 10,
         })
     });
 
-    g.bench_function("tab_padding", |b| {
-        b.iter(|| {
-            tab_padding::run(&tab_padding::Config {
-                scale: Scale::Tiny,
-                message_lengths: vec![4, 32],
-                channel_latencies: vec![1],
-                load: 0.1,
-                seed: 11,
-            })
+    g.bench("tab_padding", || {
+        tab_padding::run(&tab_padding::Config {
+            scale: Scale::Tiny,
+            message_lengths: vec![4, 32],
+            channel_latencies: vec![1],
+            load: 0.1,
+            seed: 11,
         })
     });
 
-    g.bench_function("tab_hardware", |b| {
-        b.iter(|| tab_hardware::run(&tab_hardware::Config::default()))
+    g.bench("tab_hardware", || {
+        tab_hardware::run(&tab_hardware::Config::default())
     });
 
-    g.bench_function("ext_distribution", |b| {
-        b.iter(|| {
-            ext_distribution::run(&ext_distribution::Config {
-                scale: Scale::Tiny,
-                loads: vec![0.3],
-                seed: 13,
-            })
+    g.bench("ext_distribution", || {
+        ext_distribution::run(&ext_distribution::Config {
+            scale: Scale::Tiny,
+            loads: vec![0.3],
+            seed: 13,
         })
     });
 
-    g.bench_function("ext_nonuniform", |b| {
-        b.iter(|| {
-            ext_nonuniform::run(&ext_nonuniform::Config {
-                scale: Scale::Tiny,
-                message_len: 16,
-                seed: 12,
-            })
+    g.bench("ext_nonuniform", || {
+        ext_nonuniform::run(&ext_nonuniform::Config {
+            scale: Scale::Tiny,
+            message_len: 16,
+            seed: 12,
         })
     });
 
-    g.bench_function("ext_ablation", |b| {
-        b.iter(|| {
-            ext_ablation::run(&ext_ablation::Config {
-                scale: Scale::Tiny,
-                ..Default::default()
-            })
+    g.bench("ext_ablation", || {
+        ext_ablation::run(&ext_ablation::Config {
+            scale: Scale::Tiny,
+            ..Default::default()
         })
     });
 
-    g.bench_function("ext_par", |b| {
-        b.iter(|| {
-            ext_par::run(&ext_par::Config {
-                scale: Scale::Tiny,
-                message_len: 16,
-                seed: 14,
-            })
+    g.bench("ext_par", || {
+        ext_par::run(&ext_par::Config {
+            scale: Scale::Tiny,
+            message_len: 16,
+            seed: 14,
         })
     });
 
     g.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

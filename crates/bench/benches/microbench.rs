@@ -4,9 +4,9 @@
 //! under the three protocols at a light and a saturating load, plus
 //! the throughput of the pure routing functions. They guard against
 //! performance regressions in the inner loops that every experiment
-//! pays for.
+//! pays for. Results land in `target/bench/BENCH_<group>.json`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use cr_bench::harness::Group;
 use cr_bench::reference_network;
 use cr_core::ProtocolKind;
 use cr_router::routing::{DimensionOrder, DuatoProtocol, MinimalAdaptive};
@@ -14,8 +14,8 @@ use cr_router::{Flit, FlitKind, RouteCtx, RoutingFunction, WormId};
 use cr_sim::{Cycle, MessageId, NodeId, SimRng};
 use cr_topology::{KAryNCube, Topology};
 
-fn bench_network_stepping(c: &mut Criterion) {
-    let mut g = c.benchmark_group("network_kilocycle");
+fn bench_network_stepping() {
+    let mut g = Group::new("network_kilocycle");
     g.sample_size(20);
     for (name, protocol, load) in [
         ("dor_baseline_light", ProtocolKind::Baseline, 0.1),
@@ -24,28 +24,26 @@ fn bench_network_stepping(c: &mut Criterion) {
         ("cr_saturated", ProtocolKind::Cr, 0.6),
         ("fcr_light", ProtocolKind::Fcr, 0.1),
     ] {
-        g.bench_function(name, |b| {
-            b.iter_batched(
-                || {
-                    let mut net = reference_network(protocol, load);
-                    net.run(500); // reach steady state once per batch
-                    net
-                },
-                |mut net| {
-                    for _ in 0..1_000 {
-                        net.step();
-                    }
-                    net
-                },
-                BatchSize::SmallInput,
-            )
-        });
+        g.bench_with_setup(
+            name,
+            || {
+                let mut net = reference_network(protocol, load);
+                net.run(500); // reach steady state once per sample
+                net
+            },
+            |mut net| {
+                for _ in 0..1_000 {
+                    net.step();
+                }
+                net
+            },
+        );
     }
     g.finish();
 }
 
-fn bench_routing_functions(c: &mut Criterion) {
-    let mut g = c.benchmark_group("routing_function");
+fn bench_routing_functions() {
+    let mut g = Group::new("routing_function");
     let topo = KAryNCube::torus(8, 2);
     let header = Flit::new(
         WormId::new(MessageId::new(1), 0),
@@ -66,10 +64,13 @@ fn bench_routing_functions(c: &mut Criterion) {
         ("duato", Box::new(DuatoProtocol::torus(2))),
     ];
     for (name, rf) in cases {
-        g.bench_function(name, |b| {
-            let mut rng = SimRng::from_seed(3);
-            let mut out = Vec::new();
-            b.iter(|| {
+        let mut rng = SimRng::from_seed(3);
+        let mut out = Vec::new();
+        g.bench(name, || {
+            // One sample = many route lookups, so the per-call cost is
+            // resolvable above timer granularity.
+            let mut total = 0usize;
+            for _ in 0..10_000 {
                 out.clear();
                 let mut ctx = RouteCtx {
                     topo: &topo,
@@ -79,12 +80,15 @@ fn bench_routing_functions(c: &mut Criterion) {
                     rng: &mut rng,
                 };
                 rf.candidates(&mut ctx, &mut out);
-                out.len()
-            })
+                total += out.len();
+            }
+            total
         });
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_network_stepping, bench_routing_functions);
-criterion_main!(benches);
+fn main() {
+    bench_network_stepping();
+    bench_routing_functions();
+}

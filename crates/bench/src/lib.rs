@@ -1,12 +1,17 @@
 //! Benchmark support crate.
 //!
+//! [`harness`] is the std-only benchmark runner (warmup, repeated
+//! timed samples, median/p95 summary, `target/bench/BENCH_<group>.json`
+//! output) the benches are built on — the workspace has zero external
+//! dependencies, so there is no Criterion here.
+//!
 //! The actual benchmarks live in `benches/`:
 //!
-//! * `figures` — one Criterion benchmark per paper artifact
-//!   (Fig. 9–16, the PDS and padding tables, the non-uniform traffic
-//!   extension), each running its experiment at a reduced scale so a
-//!   full `cargo bench` stays tractable. Run any experiment at full
-//!   paper scale with the matching binary in `cr-experiments`
+//! * `figures` — one benchmark per paper artifact (Fig. 9–16, the PDS
+//!   and padding tables, the non-uniform traffic extension), each
+//!   running its experiment at a reduced scale so a full `cargo bench`
+//!   stays tractable. Run any experiment at full paper scale with the
+//!   matching binary in `cr-experiments`
 //!   (e.g. `cargo run --release --bin fig14ab`).
 //! * `microbench` — hot-path microbenchmarks of the simulator itself
 //!   (cycle stepping at several loads and protocols), for tracking
@@ -14,6 +19,8 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness;
 
 use cr_core::{Network, NetworkBuilder, ProtocolKind, RoutingKind};
 use cr_topology::KAryNCube;

@@ -3,10 +3,9 @@
 use crate::retransmit::RetransmitScheme;
 use cr_router::routing::{DimensionOrder, DuatoProtocol, MinimalAdaptive, PlanarAdaptive};
 use cr_router::RoutingFunction;
-use serde::{Deserialize, Serialize};
 
 /// Which end-to-end protocol the network interfaces run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ProtocolKind {
     /// Plain wormhole interfaces: no padding, no timeouts, no kills.
     /// Correct only with a deadlock-free routing function (DOR,
@@ -40,7 +39,7 @@ impl ProtocolKind {
 }
 
 /// Which routing algorithm the routers run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RoutingKind {
     /// Dimension-order routing with `lanes` virtual lanes per dateline
     /// class (two classes on a torus, one on a mesh).
@@ -127,7 +126,7 @@ impl RoutingKind {
 /// Research ablation switches: disable individual CR mechanisms to
 /// measure what each one contributes. All off by default; the
 /// `ext_ablation` experiment sweeps them.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Ablations {
     /// Skip padding worms to `I_min`. Without padding a worm can be
     /// fully injected while uncommitted, leaving nobody to detect its
@@ -148,7 +147,7 @@ pub struct Ablations {
 /// Full network configuration. Defaults mirror the paper's setup:
 /// 2-flit buffers, single-cycle channels, one injection and one
 /// ejection channel per node.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct NetworkConfig {
     /// Routing algorithm.
     pub routing: RoutingKind,

@@ -1,7 +1,6 @@
 //! Retransmission gap policies (the paper's Fig. 11 comparison).
 
 use cr_sim::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// How long a killed message waits before its retransmission.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// exponential backoff used in Ethernet networks" — and finds the
 /// dynamic scheme tracks the best static gap across the whole load
 /// range.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum RetransmitScheme {
     /// Wait exactly `gap` cycles after every kill.
     StaticGap {

@@ -54,7 +54,10 @@ fn adaptive_torus_deadlocks_without_cr_but_not_with_it() {
                 LengthDistribution::Fixed(16),
                 0.45,
             )
-            .seed(11);
+            // This seed jams the baseline within ~6k cycles under the
+            // pinned SimRng stream (see crates/sim/tests/rng_golden.rs);
+            // reseed from a fresh scan if the stream ever changes.
+            .seed(14);
         b.build()
     };
 

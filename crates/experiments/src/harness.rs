@@ -6,7 +6,7 @@ use cr_topology::KAryNCube;
 /// How big an experiment run should be.
 ///
 /// `Paper` matches the paper's 8×8 torus with long measurement
-/// windows; `Quick` is for interactive runs and Criterion benches;
+/// windows; `Quick` is for interactive runs and benches;
 /// `Tiny` keeps unit tests fast.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {

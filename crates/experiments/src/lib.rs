@@ -4,7 +4,7 @@
 //! Each module implements one paper artifact (figure or table) as a
 //! library function returning structured rows plus a paper-style
 //! text rendering; each also has a runnable binary (`src/bin/`) and a
-//! Criterion bench (`crates/bench`). The mapping to the paper is
+//! bench (`crates/bench`). The mapping to the paper is
 //! documented per-module and indexed in `DESIGN.md`.
 //!
 //! | Module | Paper artifact |

@@ -1,80 +1,85 @@
 //! Property-based tests of the fault model.
 
 use cr_faults::{strongly_connected, FaultModel};
+use cr_sim::check::{check, Config};
 use cr_sim::SimRng;
 use cr_topology::{KAryNCube, Topology};
-use proptest::prelude::*;
 use std::collections::HashSet;
 
-proptest! {
-    /// Connectivity-preserving fault plans actually preserve strong
-    /// connectivity, for any requested count the planner accepts.
-    #[test]
-    fn fault_plans_preserve_connectivity(
-        radix in 3usize..6,
-        count in 0usize..12,
-        seed in any::<u64>(),
-    ) {
+/// Connectivity-preserving fault plans actually preserve strong
+/// connectivity, for any requested count the planner accepts.
+#[test]
+fn fault_plans_preserve_connectivity() {
+    check("fault_plans_preserve_connectivity", Config::default(), |src| {
+        let radix = src.usize_in(3..6);
+        let count = src.usize_in(0..12);
+        let seed = src.u64_any();
         let topo = KAryNCube::torus(radix, 2);
         let mut f = FaultModel::new();
         let mut rng = SimRng::from_seed(seed);
         match f.kill_random_links_connected(&topo, count, &mut rng) {
             Ok(killed) => {
-                prop_assert_eq!(killed.len(), count);
-                prop_assert_eq!(f.num_dead_links(), count);
+                assert_eq!(killed.len(), count);
+                assert_eq!(f.num_dead_links(), count);
                 let dead: HashSet<_> = f.dead_links().collect();
-                prop_assert!(strongly_connected(&topo, &dead));
+                assert!(strongly_connected(&topo, &dead));
             }
             Err(_) => {
                 // Rejection must roll back cleanly.
-                prop_assert_eq!(f.num_dead_links(), 0);
+                assert_eq!(f.num_dead_links(), 0);
             }
         }
-    }
+    });
+}
 
-    /// Removing zero links is always connected; removing all links of
-    /// any node never is (for networks with more than one node).
-    #[test]
-    fn connectivity_extremes(radix in 2usize..6) {
+/// Removing zero links is always connected; removing all links of any
+/// node never is (for networks with more than one node).
+#[test]
+fn connectivity_extremes() {
+    check("connectivity_extremes", Config::default(), |src| {
+        let radix = src.usize_in(2..6);
         let topo = KAryNCube::torus(radix, 2);
-        prop_assert!(strongly_connected(&topo, &HashSet::new()));
+        assert!(strongly_connected(&topo, &HashSet::new()));
         let mut dead = HashSet::new();
         for l in topo.links() {
             if l.src.index() == 0 {
                 dead.insert(l.id);
             }
         }
-        prop_assert!(!strongly_connected(&topo, &dead));
-    }
+        assert!(!strongly_connected(&topo, &dead));
+    });
+}
 
-    /// Corruption sampling honours the configured rate across seeds.
-    #[test]
-    fn corruption_rate_tracks_configuration(
-        rate_millis in 0u32..=500,
-        seed in any::<u64>(),
-    ) {
-        let rate = f64::from(rate_millis) / 1000.0;
+/// Corruption sampling honours the configured rate across seeds.
+#[test]
+fn corruption_rate_tracks_configuration() {
+    check("corruption_rate_tracks_configuration", Config::default(), |src| {
+        let rate = f64::from(src.u32_in(0..501)) / 1000.0;
+        let seed = src.u64_any();
         let mut f = FaultModel::new();
         f.set_transient_rate(rate);
         let mut rng = SimRng::from_seed(seed);
         let n = 8000;
         let hits = (0..n).filter(|_| f.corrupts_flit(&mut rng)).count();
         let frac = hits as f64 / n as f64;
-        prop_assert!((frac - rate).abs() < 0.03 + rate * 0.15, "rate {rate} frac {frac}");
-    }
+        assert!((frac - rate).abs() < 0.03 + rate * 0.15, "rate {rate} frac {frac}");
+    });
+}
 
-    /// Detection with miss-rate zero is certain; with miss-rate one it
-    /// never detects.
-    #[test]
-    fn detection_extremes(seed in any::<u64>()) {
+/// Detection with miss-rate zero is certain; with miss-rate one it
+/// never detects.
+#[test]
+fn detection_extremes() {
+    check("detection_extremes", Config::default(), |src| {
+        let seed = src.u64_any();
         let mut rng = SimRng::from_seed(seed);
         let mut perfect = FaultModel::new();
         perfect.set_detection_miss_rate(0.0);
         let mut blind = FaultModel::new();
         blind.set_detection_miss_rate(1.0);
         for _ in 0..64 {
-            prop_assert!(perfect.detects_corruption(&mut rng));
-            prop_assert!(!blind.detects_corruption(&mut rng));
+            assert!(perfect.detects_corruption(&mut rng));
+            assert!(!blind.detects_corruption(&mut rng));
         }
-    }
+    });
 }

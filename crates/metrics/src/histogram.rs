@@ -1,6 +1,6 @@
 //! Fixed-width-bin histograms with percentile queries.
 
-use serde::{Deserialize, Serialize};
+use cr_sim::Json;
 
 /// A histogram over non-negative integer observations (cycle counts).
 ///
@@ -23,7 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(h.overflow(), 1);
 /// assert!(h.percentile(0.5) <= 40);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Histogram {
     bin_width: u64,
     bins: Vec<u64>,
@@ -103,6 +103,41 @@ impl Histogram {
         u64::MAX
     }
 
+    /// Serializes the histogram as a [`Json`] object (`bin_width`,
+    /// `bins`, `overflow`, `count`); invert with
+    /// [`Histogram::from_json`].
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("bin_width", Json::from(self.bin_width)),
+            ("bins", Json::arr(self.bins.iter().map(|&b| Json::from(b)))),
+            ("overflow", Json::from(self.overflow)),
+            ("count", Json::from(self.count)),
+        ])
+    }
+
+    /// Rebuilds a histogram from [`Histogram::to_json`] output.
+    ///
+    /// Returns `None` if a field is missing, has the wrong type, or
+    /// describes an invalid shape (zero bins or zero bin width).
+    pub fn from_json(v: &Json) -> Option<Histogram> {
+        let bin_width = v.get("bin_width")?.as_u64()?;
+        let bins: Vec<u64> = v
+            .get("bins")?
+            .as_arr()?
+            .iter()
+            .map(Json::as_u64)
+            .collect::<Option<_>>()?;
+        if bin_width == 0 || bins.is_empty() {
+            return None;
+        }
+        Some(Histogram {
+            bin_width,
+            bins,
+            overflow: v.get("overflow")?.as_u64()?,
+            count: v.get("count")?.as_u64()?,
+        })
+    }
+
     /// Merges another histogram into this one.
     ///
     /// # Panics
@@ -180,5 +215,26 @@ mod tests {
         let mut a = Histogram::new(3, 5);
         let b = Histogram::new(4, 5);
         a.merge(&b);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut h = Histogram::new(4, 10);
+        for v in [1, 5, 12, 39, 40, 400] {
+            h.record(v);
+        }
+        let text = h.to_json().to_pretty();
+        let back = Histogram::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.bins(), h.bins());
+        assert_eq!(back.overflow(), h.overflow());
+        assert_eq!(back.count(), h.count());
+        assert_eq!(back.percentile(0.5), h.percentile(0.5));
+    }
+
+    #[test]
+    fn from_json_rejects_invalid_shapes() {
+        assert!(Histogram::from_json(&Json::parse(r#"{"bin_width":0,"bins":[1],"overflow":0,"count":1}"#).unwrap()).is_none());
+        assert!(Histogram::from_json(&Json::parse(r#"{"bin_width":5,"bins":[],"overflow":0,"count":0}"#).unwrap()).is_none());
+        assert!(Histogram::from_json(&Json::parse("{}").unwrap()).is_none());
     }
 }

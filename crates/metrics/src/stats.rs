@@ -1,6 +1,6 @@
 //! Streaming summary statistics.
 
-use serde::{Deserialize, Serialize};
+use cr_sim::Json;
 
 /// Numerically stable streaming mean/variance/min/max (Welford's
 /// algorithm).
@@ -20,7 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.min(), 2.0);
 /// assert_eq!(s.max(), 9.0);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct OnlineStats {
     count: u64,
     mean: f64,
@@ -98,6 +98,41 @@ impl OnlineStats {
     /// Largest observation; `-inf` when empty.
     pub fn max(&self) -> f64 {
         self.max
+    }
+
+    /// Serializes the full accumulator state as a [`Json`] object
+    /// (`count`, `mean`, `m2`, `min`, `max`), so a merge-equivalent
+    /// accumulator can be rebuilt with [`OnlineStats::from_json`].
+    ///
+    /// The `min`/`max` of an empty accumulator are non-finite and
+    /// therefore write as `null`, matching how the recorded results
+    /// serialized them.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("count", Json::from(self.count)),
+            ("mean", Json::from(self.mean)),
+            ("m2", Json::from(self.m2)),
+            ("min", Json::from(self.min)),
+            ("max", Json::from(self.max)),
+        ])
+    }
+
+    /// Rebuilds an accumulator from [`OnlineStats::to_json`] output.
+    ///
+    /// Returns `None` if a field is missing or has the wrong type.
+    /// `null` bounds (empty accumulator) restore to `±inf`.
+    pub fn from_json(v: &Json) -> Option<OnlineStats> {
+        let bound = |key: &str, empty: f64| match v.get(key)? {
+            Json::Null => Some(empty),
+            other => other.as_f64(),
+        };
+        Some(OnlineStats {
+            count: v.get("count")?.as_u64()?,
+            mean: v.get("mean")?.as_f64()?,
+            m2: v.get("m2")?.as_f64()?,
+            min: bound("min", f64::INFINITY)?,
+            max: bound("max", f64::NEG_INFINITY)?,
+        })
     }
 
     /// Merges another accumulator into this one (parallel Welford).
@@ -195,5 +230,31 @@ mod tests {
         empty.merge(&before);
         assert_eq!(empty.count(), 2);
         assert_eq!(empty.mean(), 1.5);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 5.0, 9.0] {
+            s.push(x);
+        }
+        let text = s.to_json().to_pretty();
+        let back = OnlineStats::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.count(), s.count());
+        assert_eq!(back.mean(), s.mean());
+        assert_eq!(back.sample_variance(), s.sample_variance());
+        assert_eq!(back.min(), s.min());
+        assert_eq!(back.max(), s.max());
+    }
+
+    #[test]
+    fn json_round_trip_empty_bounds() {
+        // Empty accumulator: ±inf bounds serialize as null and restore.
+        let text = OnlineStats::new().to_json().to_string();
+        assert!(text.contains("\"min\":null"), "{text}");
+        let back = OnlineStats::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.count(), 0);
+        assert_eq!(back.min(), f64::INFINITY);
+        assert_eq!(back.max(), f64::NEG_INFINITY);
     }
 }

@@ -1,7 +1,6 @@
 //! Flits — the flow-control units of wormhole routing.
 
 use cr_sim::{Cycle, MessageId, NodeId};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identity of one worm *instance* in flight: a message plus its
@@ -25,7 +24,7 @@ use std::fmt;
 /// assert_ne!(first, retry);
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
 )]
 pub struct WormId {
     /// The message this worm carries.
@@ -56,7 +55,7 @@ impl fmt::Display for WormId {
 }
 
 /// The role of a flit within its worm.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum FlitKind {
     /// First flit; carries the routing information.
     Head,
@@ -88,7 +87,7 @@ impl FlitKind {
 /// bookkeeping instead. The `corrupted` flag is the substitute for a
 /// per-flit checksum: a fault sets it, the next router *detects* it
 /// (see the fault model's detection miss rate).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Flit {
     /// Which worm instance this flit belongs to.
     pub worm: WormId,

@@ -21,7 +21,6 @@ use crate::flit::{Flit, WormId};
 use crate::routing::{Candidate, RouteCtx, RoutingFunction};
 use cr_sim::{Cycle, Fifo, NodeId, PortId, SimRng, VcId};
 use cr_topology::Topology;
-use serde::{Deserialize, Serialize};
 
 /// Where an allocated worm is headed from this router.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -50,7 +49,7 @@ pub enum PortKind {
 }
 
 /// Static configuration of one router.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RouterConfig {
     /// Number of neighbor ports (the topology's port span at this
     /// node).
@@ -89,7 +88,7 @@ impl RouterConfig {
 }
 
 /// Counters exposed for the experiments.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RouterCounters {
     /// Headers granted an output (or ejection) channel.
     pub headers_routed: u64,

@@ -3,10 +3,10 @@
 
 use cr_router::flit::worm_flits;
 use cr_router::routing::MinimalAdaptive;
-use cr_router::{Router, RouterConfig, RouteTarget, WormId};
+use cr_router::{RouteTarget, Router, RouterConfig, WormId};
+use cr_sim::check::{check, Config, Source};
 use cr_sim::{Cycle, MessageId, NodeId, PortId, SimRng, VcId};
 use cr_topology::{KAryNCube, Topology};
-use proptest::prelude::*;
 
 /// A scripted stimulus: worms arriving on random input ports, with
 /// random kill points, pushed through one router standing at node 0 of
@@ -19,30 +19,33 @@ struct Script {
     num_vcs: usize,
 }
 
-fn script() -> impl Strategy<Value = Script> {
-    (
-        prop::collection::vec(
-            (0u8..2, 1u8..4, 2u8..10, prop::option::of(0u8..8)),
-            1..12,
-        ),
-        1usize..4,
-        1usize..3,
-    )
-        .prop_map(|(worms, buffer_depth, num_vcs)| Script {
-            worms,
-            buffer_depth,
-            num_vcs,
-        })
+fn script(src: &mut Source<'_>) -> Script {
+    let worms = src.vec_with(1..12, |s| {
+        (
+            s.u32_in(0..2) as u8,
+            s.u32_in(1..4) as u8,
+            s.u32_in(2..10) as u8,
+            if s.bool_any() {
+                Some(s.u32_in(0..8) as u8)
+            } else {
+                None
+            },
+        )
+    });
+    Script {
+        worms,
+        buffer_depth: src.usize_in(1..4),
+        num_vcs: src.usize_in(1..3),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Feed random worms through a single router, killing some midway:
-    /// at the end, after flushing every kill, no allocation leaks, and
-    /// credit spend never exceeds what traversal produced.
-    #[test]
-    fn router_never_leaks_allocations(s in script()) {
+/// Feed random worms through a single router, killing some midway: at
+/// the end, after flushing every kill, no allocation leaks, and credit
+/// spend never exceeds what traversal produced.
+#[test]
+fn router_never_leaks_allocations() {
+    check("router_never_leaks_allocations", Config::cases(64), |src| {
+        let s = script(src);
         let topo = KAryNCube::torus(4, 1);
         let cfg = RouterConfig {
             num_node_ports: topo.num_ports(NodeId::new(0)),
@@ -126,22 +129,23 @@ proptest! {
             let port = PortId::new(p as u16);
             for v in 0..s.num_vcs {
                 let vc = VcId::new(v as u8);
-                prop_assert_eq!(r.occupancy(port, vc), 0, "flits left at {} {}", port, vc);
-                prop_assert!(r.route_of(port, vc).is_none());
-                prop_assert!(r.output_owner(port, vc).is_none());
-                prop_assert_eq!(r.credits(port, vc), s.buffer_depth);
+                assert_eq!(r.occupancy(port, vc), 0, "flits left at {port} {vc}");
+                assert!(r.route_of(port, vc).is_none());
+                assert!(r.output_owner(port, vc).is_none());
+                assert_eq!(r.credits(port, vc), s.buffer_depth);
             }
         }
-        prop_assert_eq!(r.total_occupancy(), 0);
-    }
+        assert_eq!(r.total_occupancy(), 0);
+    });
+}
 
-    /// `flush_worm` is idempotent and only ever touches its worm.
-    #[test]
-    fn flush_is_idempotent_and_precise(
-        len_a in 2u32..8,
-        len_b in 2u32..8,
-        seed in any::<u64>(),
-    ) {
+/// `flush_worm` is idempotent and only ever touches its worm.
+#[test]
+fn flush_is_idempotent_and_precise() {
+    check("flush_is_idempotent_and_precise", Config::cases(64), |src| {
+        let len_a = src.u32_in(2..8);
+        let len_b = src.u32_in(2..8);
+        let seed = src.u64_any();
         let topo = KAryNCube::torus(4, 1);
         let cfg = RouterConfig {
             num_node_ports: 2,
@@ -156,8 +160,10 @@ proptest! {
         let rf = MinimalAdaptive::new(2);
         let wa = WormId::new(MessageId::new(1), 0);
         let wb = WormId::new(MessageId::new(2), 0);
-        let fa: Vec<_> = worm_flits(wa, NodeId::new(3), NodeId::new(1), len_a, 0, 0, Cycle::ZERO).collect();
-        let fb: Vec<_> = worm_flits(wb, NodeId::new(3), NodeId::new(2), len_b, 0, 0, Cycle::ZERO).collect();
+        let fa: Vec<_> =
+            worm_flits(wa, NodeId::new(3), NodeId::new(1), len_a, 0, 0, Cycle::ZERO).collect();
+        let fb: Vec<_> =
+            worm_flits(wb, NodeId::new(3), NodeId::new(2), len_b, 0, 0, Cycle::ZERO).collect();
         // Interleave the two worms on different VCs of one port.
         for f in fa.iter().take(4) {
             r.accept(Cycle::ZERO, PortId::new(1), VcId::new(0), *f);
@@ -168,12 +174,12 @@ proptest! {
         r.route_and_allocate(Cycle::ZERO, &rf, &topo, &|_| false);
 
         let first = r.flush_worm(PortId::new(1), VcId::new(0), wa);
-        prop_assert_eq!(first.flushed, fa.len().min(4));
+        assert_eq!(first.flushed, fa.len().min(4));
         let again = r.flush_worm(PortId::new(1), VcId::new(0), wa);
-        prop_assert_eq!(again.flushed, 0);
-        prop_assert_eq!(again.released, None);
+        assert_eq!(again.flushed, 0);
+        assert_eq!(again.released, None);
         // Worm B untouched.
-        prop_assert_eq!(r.occupancy(PortId::new(1), VcId::new(1)), fb.len().min(4));
-        prop_assert_eq!(r.worm_of(PortId::new(1), VcId::new(1)), Some(wb));
-    }
+        assert_eq!(r.occupancy(PortId::new(1), VcId::new(1)), fb.len().min(4));
+        assert_eq!(r.worm_of(PortId::new(1), VcId::new(1)), Some(wb));
+    });
 }

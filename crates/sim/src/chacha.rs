@@ -1,0 +1,197 @@
+//! An in-repo ChaCha8 keystream generator.
+//!
+//! This is the deterministic core behind [`crate::SimRng`]. The
+//! workspace builds with **zero external dependencies** (see the
+//! "Offline / hermetic build" section of the README), so instead of
+//! pulling `rand_chacha` from a registry we implement the ChaCha block
+//! function ourselves. ChaCha is a tiny algorithm — a 4×4 matrix of
+//! `u32` words stirred by add/rotate/xor quarter-rounds — and the
+//! 8-round variant is more than enough for simulation-quality
+//! randomness while being fully specified and portable: the same seed
+//! produces the same stream on every platform, toolchain and build.
+//!
+//! Layout follows D. J. Bernstein's original ChaCha specification:
+//! a 64-bit block counter (words 12–13) and a 64-bit stream id
+//! (words 14–15). The 256-bit key is expanded from a 64-bit seed with
+//! the PCG32 output function, mirroring the scheme the `rand` crate
+//! family uses for `seed_from_u64` so historical seeds land in the
+//! same key space.
+//!
+//! The exact output stream is pinned by golden-value tests in
+//! `crates/sim/tests/rng_golden.rs`; any change to this file that
+//! shifts the stream is a breaking change to every recorded experiment
+//! and must be called out loudly (see DESIGN.md "Determinism & RNG").
+
+/// "expand 32-byte k", the ChaCha constant words.
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// Number of double-rounds for the ChaCha8 variant.
+const DOUBLE_ROUNDS: usize = 4;
+
+/// One ChaCha quarter-round on four words of the working state.
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 16-word ChaCha8 output block for (`key`, `stream`,
+/// `counter`).
+fn block(key: &[u32; 8], stream: u64, counter: u64, out: &mut [u32; 16]) {
+    let initial: [u32; 16] = [
+        CONSTANTS[0],
+        CONSTANTS[1],
+        CONSTANTS[2],
+        CONSTANTS[3],
+        key[0],
+        key[1],
+        key[2],
+        key[3],
+        key[4],
+        key[5],
+        key[6],
+        key[7],
+        counter as u32,
+        (counter >> 32) as u32,
+        stream as u32,
+        (stream >> 32) as u32,
+    ];
+    let mut state = initial;
+    for _ in 0..DOUBLE_ROUNDS {
+        // Column round.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal round.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 12, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (o, (s, i)) in out.iter_mut().zip(state.iter().zip(initial.iter())) {
+        *o = s.wrapping_add(*i);
+    }
+}
+
+/// Expands a 64-bit seed into a 256-bit ChaCha key.
+///
+/// Eight PCG32 outputs (multiplier/increment from the PCG reference
+/// implementation), one per key word. This keeps low-Hamming-weight
+/// seeds (0, 1, 2, …) well separated in key space.
+fn expand_seed(seed: u64) -> [u32; 8] {
+    const MUL: u64 = 6_364_136_223_846_793_005;
+    const INC: u64 = 11_634_580_027_462_260_723;
+    let mut state = seed;
+    let mut key = [0u32; 8];
+    for word in &mut key {
+        state = state.wrapping_mul(MUL).wrapping_add(INC);
+        let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+        let rot = (state >> 59) as u32;
+        *word = xorshifted.rotate_right(rot);
+    }
+    key
+}
+
+/// A ChaCha8 keystream viewed as an endless sequence of `u32` words.
+///
+/// The generator owns the key, the block counter, and a one-block
+/// buffer; callers pull words with [`ChaCha8::next_word`] and the
+/// buffer refills transparently.
+#[derive(Debug, Clone)]
+pub(crate) struct ChaCha8 {
+    key: [u32; 8],
+    stream: u64,
+    counter: u64,
+    buf: [u32; 16],
+    /// Next unread index into `buf`; 16 means "buffer exhausted".
+    idx: usize,
+}
+
+impl ChaCha8 {
+    /// Creates a generator from a 64-bit seed, on stream 0.
+    pub(crate) fn from_seed(seed: u64) -> Self {
+        ChaCha8 {
+            key: expand_seed(seed),
+            stream: 0,
+            counter: 0,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+
+    /// Returns the next keystream word.
+    #[inline]
+    pub(crate) fn next_word(&mut self) -> u32 {
+        if self.idx == 16 {
+            block(&self.key, self.stream, self.counter, &mut self.buf);
+            self.counter = self.counter.wrapping_add(1);
+            self.idx = 0;
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_is_deterministic_and_counter_sensitive() {
+        let key = expand_seed(1);
+        let mut a = [0u32; 16];
+        let mut b = [0u32; 16];
+        block(&key, 0, 0, &mut a);
+        block(&key, 0, 0, &mut b);
+        assert_eq!(a, b);
+        block(&key, 0, 1, &mut b);
+        assert_ne!(a, b);
+        block(&key, 1, 0, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn seed_expansion_separates_adjacent_seeds() {
+        let k0 = expand_seed(0);
+        let k1 = expand_seed(1);
+        assert_ne!(k0, k1);
+        // No shared words either — the PCG output function diffuses.
+        assert!(k0.iter().zip(&k1).all(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn keystream_crosses_block_boundaries() {
+        let mut g = ChaCha8::from_seed(7);
+        let first_two_blocks: Vec<u32> = (0..32).map(|_| g.next_word()).collect();
+        let mut h = ChaCha8::from_seed(7);
+        for &w in &first_two_blocks {
+            assert_eq!(h.next_word(), w);
+        }
+        // Words 16.. come from counter 1, not a repeat of counter 0.
+        assert_ne!(&first_two_blocks[..16], &first_two_blocks[16..]);
+    }
+
+    #[test]
+    fn chacha20_reference_structure() {
+        // Sanity-check the quarter-round against the example in RFC 7539
+        // §2.1.1 (the quarter-round is shared by every ChaCha variant).
+        let mut s = [0u32; 16];
+        s[0] = 0x1111_1111;
+        s[1] = 0x0102_0304;
+        s[2] = 0x9b8d_6f43;
+        s[3] = 0x0123_4567;
+        quarter_round(&mut s, 0, 1, 2, 3);
+        assert_eq!(s[0], 0xea2a_92f4);
+        assert_eq!(s[1], 0xcb1c_f8ce);
+        assert_eq!(s[2], 0x4581_472e);
+        assert_eq!(s[3], 0x5881_c4bb);
+    }
+}

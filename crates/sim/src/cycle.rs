@@ -4,7 +4,6 @@
 //! clock tick, matching the paper's reporting of latencies and timeouts
 //! in cycles.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -27,7 +26,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert!(later > start);
 /// ```
 #[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
 )]
 pub struct Cycle(u64);
 

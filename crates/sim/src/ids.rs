@@ -7,7 +7,6 @@
 //!
 //! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifier of a network node (a router plus its processor interface).
@@ -23,7 +22,7 @@ use std::fmt;
 /// assert_eq!(n.index(), 7);
 /// assert_eq!(format!("{n}"), "n7");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -67,7 +66,7 @@ impl From<u32> for NodeId {
 /// let l = LinkId::new(12);
 /// assert_eq!(l.index(), 12);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct LinkId(u32);
 
 impl LinkId {
@@ -107,7 +106,7 @@ impl fmt::Display for LinkId {
 /// let p = PortId::new(3);
 /// assert_eq!(p.index(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct PortId(u16);
 
 impl PortId {
@@ -141,7 +140,7 @@ impl fmt::Display for PortId {
 /// use cr_sim::VcId;
 /// assert_eq!(VcId::new(1).index(), 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VcId(u8);
 
 impl VcId {
@@ -175,7 +174,7 @@ impl fmt::Display for VcId {
 /// let m = MessageId::new(99);
 /// assert_eq!(m.as_u64(), 99);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MessageId(u64);
 
 impl MessageId {

@@ -7,16 +7,22 @@
 //!   virtual channels and messages ([`NodeId`], [`LinkId`], …).
 //! * [`cycle`] — the [`Cycle`] newtype used as the simulation clock.
 //! * [`rng`] — deterministic, splittable random-number generation
-//!   ([`SimRng`]): every experiment in the reproduction is exactly
-//!   reproducible from a single 64-bit seed.
+//!   ([`SimRng`], backed by an in-repo ChaCha8 keystream): every
+//!   experiment in the reproduction is exactly reproducible from a
+//!   single 64-bit seed.
 //! * [`fifo`] — a bounded ring-buffer FIFO ([`Fifo`]) used for flit
 //!   buffers, link pipelines and injection queues.
+//! * [`json`] — a minimal JSON value/writer/parser for result dumps.
+//! * [`check`] — a seeded property-testing mini-framework with
+//!   shrinking, used by the workspace's `tests/properties.rs` suites.
+//!
+//! The crate depends on nothing outside `std` — it is the bottom of a
+//! fully hermetic, offline-buildable workspace.
 //!
 //! # Examples
 //!
 //! ```
-//! use cr_sim::{Cycle, Fifo, NodeId, SimRng};
-//! use rand::Rng;
+//! use cr_sim::{Cycle, Fifo, NodeId, Rng, SimRng};
 //!
 //! let mut rng = SimRng::from_seed(42);
 //! let node = NodeId::new(rng.gen_range(0..64u32));
@@ -35,12 +41,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chacha;
+pub mod check;
 pub mod cycle;
 pub mod fifo;
 pub mod ids;
+pub mod json;
 pub mod rng;
 
 pub use cycle::Cycle;
 pub use fifo::{Fifo, FifoFullError};
 pub use ids::{LinkId, MessageId, NodeId, PortId, VcId};
-pub use rng::SimRng;
+pub use json::Json;
+pub use rng::{Rng, SimRng};

@@ -6,38 +6,42 @@
 //! experiment with the same seed reproduces the exact same cycle-by-cycle
 //! behaviour, which is what makes the regression tests and the
 //! paper-figure harness trustworthy.
+//!
+//! The generator is backed by an in-repo ChaCha8 keystream
+//! ([`crate::chacha`]) — no external crates, fully specified output,
+//! identical on every platform. The first words of the stream are pinned
+//! by golden-value tests (`crates/sim/tests/rng_golden.rs`); see
+//! DESIGN.md "Determinism & RNG" for the policy on changing them.
 
-use rand::{RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use crate::chacha::ChaCha8;
 
 /// A deterministic pseudo-random number generator for simulations.
 ///
-/// `SimRng` wraps a ChaCha8 stream cipher RNG: fast, portable across
-/// platforms (unlike `SmallRng`, its output is specified), and cheap to
-/// *split* into independent per-component streams with
+/// `SimRng` wraps an in-repo ChaCha8 stream cipher RNG: fast, portable
+/// across platforms (its output is fully specified by this repository),
+/// and cheap to *split* into independent per-component streams with
 /// [`SimRng::split`].
 ///
-/// It implements [`rand::RngCore`], so all of the [`rand::Rng`]
-/// extension methods are available.
+/// It implements the [`Rng`] extension trait, which carries the
+/// `gen_*` convenience methods.
 ///
 /// # Examples
 ///
 /// ```
-/// use cr_sim::SimRng;
-/// use rand::Rng;
+/// use cr_sim::{Rng, SimRng};
 ///
 /// let mut a = SimRng::from_seed(7);
 /// let mut b = SimRng::from_seed(7);
-/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+/// assert_eq!(a.gen_u64(), b.gen_u64());
 ///
 /// // Independent per-node streams:
 /// let mut n0 = a.split(0);
 /// let mut n1 = a.split(1);
-/// assert_ne!(n0.gen::<u64>(), n1.gen::<u64>());
+/// assert_ne!(n0.gen_u64(), n1.gen_u64());
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: ChaCha8Rng,
+    inner: ChaCha8,
     seed: u64,
 }
 
@@ -45,7 +49,7 @@ impl SimRng {
     /// Creates a generator from a 64-bit experiment seed.
     pub fn from_seed(seed: u64) -> Self {
         SimRng {
-            inner: ChaCha8Rng::seed_from_u64(seed),
+            inner: ChaCha8::from_seed(seed),
             seed,
         }
     }
@@ -89,7 +93,7 @@ impl SimRng {
             return true;
         }
         // 53 bits of entropy, the full precision of an f64 mantissa.
-        let x = (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let x = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
         x < p
     }
 
@@ -98,7 +102,7 @@ impl SimRng {
         if slice.is_empty() {
             None
         } else {
-            let i = (self.inner.next_u64() % slice.len() as u64) as usize;
+            let i = (self.next_u64() % slice.len() as u64) as usize;
             Some(&slice[i])
         }
     }
@@ -109,33 +113,153 @@ impl SimRng {
         if len == 0 {
             None
         } else {
-            Some((self.inner.next_u64() % len as u64) as usize)
+            Some((self.next_u64() % len as u64) as usize)
         }
     }
 }
 
-impl RngCore for SimRng {
+impl Rng for SimRng {
     fn next_u32(&mut self) -> u32 {
-        self.inner.next_u32()
+        self.inner.next_word()
     }
+}
 
+/// Integer types that [`Rng::gen_range`] can sample uniformly.
+///
+/// Implemented for the primitive integer types. The mapping from a raw
+/// 64-bit draw onto the range uses a 128-bit modulo; the modulo bias is
+/// at most `width / 2^64` — irrelevant for simulation workloads (and
+/// for the narrow ranges the simulator actually draws, zero in
+/// practice).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Maps a uniform `u64` draw onto `lo..hi` (half-open; caller
+    /// guarantees `lo < hi`).
+    fn from_draw(draw: u64, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn from_draw(draw: u64, lo: Self, hi: Self) -> Self {
+                let width = (hi as i128).wrapping_sub(lo as i128) as u128;
+                let off = (draw as u128) % width;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Extension trait with the convenience methods every RNG consumer
+/// wants — the in-repo replacement for the `rand::Rng` surface the
+/// workspace used to import.
+///
+/// Only [`Rng::next_u32`] is required; everything else derives from
+/// it. Successive `u32` draws are consecutive keystream words, and
+/// [`Rng::next_u64`] glues two words little-end first.
+///
+/// # Examples
+///
+/// ```
+/// use cr_sim::{Rng, SimRng};
+///
+/// let mut rng = SimRng::from_seed(42);
+/// let die = rng.gen_range(1..7u32);
+/// assert!((1..7).contains(&die));
+///
+/// let mut deck: Vec<u8> = (0..8).collect();
+/// rng.shuffle(&mut deck);
+/// assert_eq!(deck.len(), 8);
+///
+/// if rng.gen_bool(0.5) {
+///     // heads
+/// }
+/// ```
+pub trait Rng {
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 uniformly random bits (two `u32` draws,
+    /// low word first).
     fn next_u64(&mut self) -> u64 {
-        self.inner.next_u64()
+        let lo = u64::from(self.next_u32());
+        let hi = u64::from(self.next_u32());
+        (hi << 32) | lo
     }
 
+    /// Alias for [`Rng::next_u64`], matching the `gen_*` family.
+    fn gen_u64(&mut self) -> u64 {
+        self.next_u64()
+    }
+
+    /// Alias for [`Rng::next_u32`], matching the `gen_*` family.
+    fn gen_u32(&mut self) -> u32 {
+        self.next_u32()
+    }
+
+    /// Samples uniformly from the half-open range `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "gen_range called with empty range");
+        T::from_draw(self.next_u64(), range.start, range.end)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0.0, 1.0]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        self.gen_f64() < p
+    }
+
+    /// Samples uniformly from `[0.0, 1.0)` with 53 bits of precision.
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Fills `dest` with uniformly random bytes.
+    ///
+    /// Bytes come from whole little-endian `u32` draws; when `dest`'s
+    /// length is not a multiple of four, the unused bytes of the final
+    /// draw are discarded.
     fn fill_bytes(&mut self, dest: &mut [u8]) {
-        self.inner.fill_bytes(dest)
+        for chunk in dest.chunks_mut(4) {
+            let word = self.next_u32().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
     }
 
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.inner.try_fill_bytes(dest)
+    /// Shuffles `slice` in place (Fisher–Yates).
+    fn shuffle<T>(&mut self, slice: &mut [T])
+    where
+        Self: Sized,
+    {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_range(0..i + 1);
+            slice.swap(i, j);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn same_seed_same_stream() {
@@ -220,5 +344,76 @@ mod tests {
             let v = r.gen_range(0..10u32);
             assert!(v < 10);
         }
+    }
+
+    #[test]
+    fn gen_range_covers_signed_and_wide_ranges() {
+        let mut r = SimRng::from_seed(8);
+        for _ in 0..200 {
+            let v = r.gen_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+            let w = r.gen_range(u64::MAX - 3..u64::MAX);
+            assert!(w >= u64::MAX - 3);
+            let x = r.gen_range(i64::MIN..i64::MIN + 2);
+            assert!(x == i64::MIN || x == i64::MIN + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn gen_range_rejects_empty_range() {
+        SimRng::from_seed(0).gen_range(5..5u32);
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut r = SimRng::from_seed(55);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| r.gen_bool(0.75)).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "frac = {frac}");
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_seed_stable() {
+        let mut a: Vec<u32> = (0..32).collect();
+        let mut b: Vec<u32> = (0..32).collect();
+        SimRng::from_seed(11).shuffle(&mut a);
+        SimRng::from_seed(11).shuffle(&mut b);
+        assert_eq!(a, b, "same seed must shuffle identically");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+        assert_ne!(a, sorted, "32 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn fill_bytes_handles_ragged_lengths() {
+        for len in [0usize, 1, 3, 4, 5, 8, 13] {
+            let mut a = vec![0u8; len];
+            let mut b = vec![0u8; len];
+            SimRng::from_seed(21).fill_bytes(&mut a);
+            SimRng::from_seed(21).fill_bytes(&mut b);
+            assert_eq!(a, b);
+        }
+        // The first 8 bytes are the first two keystream words LE.
+        let mut r = SimRng::from_seed(21);
+        let w0 = r.next_u32();
+        let w1 = r.next_u32();
+        let mut bytes = [0u8; 8];
+        SimRng::from_seed(21).fill_bytes(&mut bytes);
+        assert_eq!(&bytes[..4], &w0.to_le_bytes());
+        assert_eq!(&bytes[4..], &w1.to_le_bytes());
+    }
+
+    #[test]
+    fn next_u64_is_two_words_low_first() {
+        let mut words = SimRng::from_seed(99);
+        let w0 = words.next_u32();
+        let w1 = words.next_u32();
+        let mut wide = SimRng::from_seed(99);
+        assert_eq!(wide.next_u64(), (u64::from(w1) << 32) | u64::from(w0));
     }
 }

@@ -1,8 +1,7 @@
 //! Property-based tests of the simulation substrate.
 
-use cr_sim::{Cycle, Fifo, SimRng};
-use proptest::prelude::*;
-use rand::RngCore;
+use cr_sim::check::{check, Config};
+use cr_sim::{Cycle, Fifo, Rng, SimRng};
 use std::collections::VecDeque;
 
 /// Operations for the FIFO model test.
@@ -14,23 +13,18 @@ enum Op {
     RetainEven,
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => any::<u32>().prop_map(Op::Push),
-        3 => Just(Op::Pop),
-        1 => Just(Op::Clear),
-        1 => Just(Op::RetainEven),
-    ]
-}
-
-proptest! {
-    /// `Fifo` behaves exactly like a capacity-checked `VecDeque` under
-    /// arbitrary operation sequences.
-    #[test]
-    fn fifo_matches_vecdeque_model(
-        capacity in 1usize..16,
-        ops in prop::collection::vec(op(), 0..200),
-    ) {
+/// `Fifo` behaves exactly like a capacity-checked `VecDeque` under
+/// arbitrary operation sequences.
+#[test]
+fn fifo_matches_vecdeque_model() {
+    check("fifo_matches_vecdeque_model", Config::default(), |src| {
+        let capacity = src.usize_in(1..16);
+        let ops = src.vec_with(0..200, |s| match s.weighted(&[4, 3, 1, 1]) {
+            0 => Op::Push(s.u64_any() as u32),
+            1 => Op::Pop,
+            2 => Op::Clear,
+            _ => Op::RetainEven,
+        });
         let mut fifo = Fifo::with_capacity(capacity);
         let mut model: VecDeque<u32> = VecDeque::new();
         for op in ops {
@@ -38,90 +32,104 @@ proptest! {
                 Op::Push(v) => {
                     let expect_ok = model.len() < capacity;
                     let got = fifo.push(v);
-                    prop_assert_eq!(got.is_ok(), expect_ok);
+                    assert_eq!(got.is_ok(), expect_ok);
                     if expect_ok {
                         model.push_back(v);
                     } else {
-                        prop_assert_eq!(got.unwrap_err().0, v, "rejected item returned");
+                        assert_eq!(got.unwrap_err().0, v, "rejected item returned");
                     }
                 }
                 Op::Pop => {
-                    prop_assert_eq!(fifo.pop(), model.pop_front());
+                    assert_eq!(fifo.pop(), model.pop_front());
                 }
                 Op::Clear => {
                     let n = fifo.clear();
-                    prop_assert_eq!(n, model.len());
+                    assert_eq!(n, model.len());
                     model.clear();
                 }
                 Op::RetainEven => {
                     let removed = fifo.retain(|x| x % 2 == 0);
                     let before = model.len();
                     model.retain(|x| x % 2 == 0);
-                    prop_assert_eq!(removed, before - model.len());
+                    assert_eq!(removed, before - model.len());
                 }
             }
-            prop_assert_eq!(fifo.len(), model.len());
-            prop_assert_eq!(fifo.is_empty(), model.is_empty());
-            prop_assert_eq!(fifo.is_full(), model.len() == capacity);
-            prop_assert_eq!(fifo.free(), capacity - model.len());
-            prop_assert_eq!(fifo.front().copied(), model.front().copied());
+            assert_eq!(fifo.len(), model.len());
+            assert_eq!(fifo.is_empty(), model.is_empty());
+            assert_eq!(fifo.is_full(), model.len() == capacity);
+            assert_eq!(fifo.free(), capacity - model.len());
+            assert_eq!(fifo.front().copied(), model.front().copied());
             let a: Vec<u32> = fifo.iter().copied().collect();
             let b: Vec<u32> = model.iter().copied().collect();
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
-    }
+    });
+}
 
-    /// Split streams never collide with the parent or each other for
-    /// reasonable stream counts, and are reproducible.
-    #[test]
-    fn rng_splits_are_stable_and_distinct(seed in any::<u64>()) {
+/// Split streams never collide with the parent or each other for
+/// reasonable stream counts, and are reproducible.
+#[test]
+fn rng_splits_are_stable_and_distinct() {
+    check("rng_splits_are_stable_and_distinct", Config::default(), |src| {
+        let seed = src.u64_any();
         let root = SimRng::from_seed(seed);
         let mut firsts = std::collections::HashSet::new();
         for stream in 0..128u64 {
             let mut a = root.split(stream);
             let mut b = root.split(stream);
             let va = a.next_u64();
-            prop_assert_eq!(va, b.next_u64(), "split not reproducible");
-            prop_assert!(firsts.insert(va), "stream collision at {}", stream);
+            assert_eq!(va, b.next_u64(), "split not reproducible");
+            assert!(firsts.insert(va), "stream collision at {stream}");
         }
-    }
+    });
+}
 
-    /// `chance(p)` over many trials lands near `p` for any seed.
-    #[test]
-    fn chance_is_calibrated(seed in any::<u64>(), p_millis in 0u32..=1000) {
-        let p = f64::from(p_millis) / 1000.0;
+/// `chance(p)` over many trials lands near `p` for any seed.
+#[test]
+fn chance_is_calibrated() {
+    check("chance_is_calibrated", Config::default(), |src| {
+        let seed = src.u64_any();
+        let p = f64::from(src.u32_in(0..1001)) / 1000.0;
         let mut rng = SimRng::from_seed(seed);
         let n = 4000;
         let hits = (0..n).filter(|_| rng.chance(p)).count();
         let frac = hits as f64 / n as f64;
-        prop_assert!((frac - p).abs() < 0.05, "p={p} frac={frac}");
-    }
+        assert!((frac - p).abs() < 0.05, "p={p} frac={frac}");
+    });
+}
 
-    /// Cycle arithmetic is consistent: `(a + d) - a == d` and
-    /// saturating subtraction never underflows.
-    #[test]
-    fn cycle_arithmetic_laws(a in 0u64..u64::MAX / 2, d in 0u64..1_000_000) {
+/// Cycle arithmetic is consistent: `(a + d) - a == d` and saturating
+/// subtraction never underflows.
+#[test]
+fn cycle_arithmetic_laws() {
+    check("cycle_arithmetic_laws", Config::default(), |src| {
+        let a = src.u64_in(0..u64::MAX / 2);
+        let d = src.u64_in(0..1_000_000);
         let t = Cycle::new(a);
         let later = t + d;
-        prop_assert_eq!(later - t, d);
-        prop_assert_eq!(later.saturating_since(t), d);
-        prop_assert_eq!(t.saturating_since(later), 0);
+        assert_eq!(later - t, d);
+        assert_eq!(later.saturating_since(t), d);
+        assert_eq!(t.saturating_since(later), 0);
         let mut u = t;
         u.tick();
-        prop_assert_eq!(u - t, 1);
-    }
+        assert_eq!(u - t, 1);
+    });
+}
 
-    /// `pick` always returns an element of the slice; `pick_index`
-    /// stays in range.
-    #[test]
-    fn pick_stays_in_bounds(seed in any::<u64>(), len in 1usize..64) {
+/// `pick` always returns an element of the slice; `pick_index` stays
+/// in range.
+#[test]
+fn pick_stays_in_bounds() {
+    check("pick_stays_in_bounds", Config::default(), |src| {
+        let seed = src.u64_any();
+        let len = src.usize_in(1..64);
         let mut rng = SimRng::from_seed(seed);
         let items: Vec<usize> = (0..len).collect();
         for _ in 0..32 {
             let v = *rng.pick(&items).unwrap();
-            prop_assert!(v < len);
+            assert!(v < len);
             let i = rng.pick_index(len).unwrap();
-            prop_assert!(i < len);
+            assert!(i < len);
         }
-    }
+    });
 }

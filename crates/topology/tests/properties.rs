@@ -4,9 +4,9 @@
 //! laws; these tests check them over randomly drawn shapes and node
 //! pairs.
 
+use cr_sim::check::{check, Config};
 use cr_sim::{NodeId, PortId};
 use cr_topology::{GraphTopology, Hypercube, KAryNCube, Topology};
-use proptest::prelude::*;
 
 /// Checks the invariants shared by all topologies on one instance.
 fn check_invariants(t: &dyn Topology) {
@@ -60,26 +60,34 @@ fn check_invariants(t: &dyn Topology) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn cube_invariants(radix in 2usize..6, dims in 1usize..4, wrap in any::<bool>()) {
-        let t = if wrap {
+#[test]
+fn cube_invariants() {
+    check("cube_invariants", Config::cases(16), |src| {
+        let radix = src.usize_in(2..6);
+        let dims = src.usize_in(1..4);
+        let t = if src.bool_any() {
             KAryNCube::torus(radix, dims)
         } else {
             KAryNCube::mesh(radix, dims)
         };
         check_invariants(&t);
-    }
+    });
+}
 
-    #[test]
-    fn hypercube_invariants(dims in 1usize..6) {
+#[test]
+fn hypercube_invariants() {
+    check("hypercube_invariants", Config::cases(16), |src| {
+        let dims = src.usize_in(1..6);
         check_invariants(&Hypercube::new(dims));
-    }
+    });
+}
 
-    #[test]
-    fn random_connected_graph_invariants(n in 3usize..12, extra in 0usize..12, seed in any::<u64>()) {
+#[test]
+fn random_connected_graph_invariants() {
+    check("random_connected_graph_invariants", Config::cases(16), |src| {
+        let n = src.usize_in(3..12);
+        let extra = src.usize_in(0..12);
+        let seed = src.u64_any();
         // Ring backbone guarantees strong connectivity, plus random chords.
         let mut edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
         let mut s = seed;
@@ -96,41 +104,57 @@ proptest! {
         }
         let g = GraphTopology::from_undirected_edges(n, &edges).unwrap();
         check_invariants(&g);
-    }
+    });
+}
 
-    #[test]
-    fn torus_distance_symmetry(radix in 2usize..8, dims in 1usize..3, a in 0u32..64, b in 0u32..64) {
+#[test]
+fn torus_distance_symmetry() {
+    check("torus_distance_symmetry", Config::cases(16), |src| {
+        let radix = src.usize_in(2..8);
+        let dims = src.usize_in(1..3);
         let t = KAryNCube::torus(radix, dims);
         let n = t.num_nodes() as u32;
-        let (a, b) = (NodeId::new(a % n), NodeId::new(b % n));
-        prop_assert_eq!(t.distance(a, b), t.distance(b, a));
-    }
+        let a = NodeId::new(src.u32_in(0..64) % n);
+        let b = NodeId::new(src.u32_in(0..64) % n);
+        assert_eq!(t.distance(a, b), t.distance(b, a));
+    });
+}
 
-    #[test]
-    fn torus_distance_triangle_inequality(a in 0u32..64, b in 0u32..64, c in 0u32..64) {
+#[test]
+fn torus_distance_triangle_inequality() {
+    check("torus_distance_triangle_inequality", Config::cases(16), |src| {
         let t = KAryNCube::torus(8, 2);
-        let (a, b, c) = (NodeId::new(a), NodeId::new(b), NodeId::new(c));
-        prop_assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
-    }
+        let a = NodeId::new(src.u32_in(0..64));
+        let b = NodeId::new(src.u32_in(0..64));
+        let c = NodeId::new(src.u32_in(0..64));
+        assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
+    });
+}
 
-    #[test]
-    fn greedy_walk_reaches_destination(a in 0u32..64, b in 0u32..64) {
+#[test]
+fn greedy_walk_reaches_destination() {
+    check("greedy_walk_reaches_destination", Config::cases(16), |src| {
         // Following any minimal port repeatedly must arrive in exactly
         // `distance` hops.
         let t = KAryNCube::torus(8, 2);
-        let (mut cur, dst) = (NodeId::new(a), NodeId::new(b));
+        let mut cur = NodeId::new(src.u32_in(0..64));
+        let dst = NodeId::new(src.u32_in(0..64));
         let d = t.distance(cur, dst);
         for step in 0..d {
             let ports = t.minimal_ports(cur, dst);
-            prop_assert!(!ports.is_empty(), "stuck at step {step}");
+            assert!(!ports.is_empty(), "stuck at step {step}");
             // Worst case: always take the last offered port.
             cur = t.neighbor(cur, *ports.last().unwrap()).unwrap();
         }
-        prop_assert_eq!(cur, dst);
-    }
+        assert_eq!(cur, dst);
+    });
+}
 
-    #[test]
-    fn wraparound_channels_only_on_torus_rim(radix in 2usize..6, dims in 1usize..3) {
+#[test]
+fn wraparound_channels_only_on_torus_rim() {
+    check("wraparound_channels_only_on_torus_rim", Config::cases(16), |src| {
+        let radix = src.usize_in(2..6);
+        let dims = src.usize_in(1..3);
         let t = KAryNCube::torus(radix, dims);
         let m = KAryNCube::mesh(radix, dims);
         let mut wrap_count = 0usize;
@@ -146,6 +170,6 @@ proptest! {
         }
         // Each dimension contributes 2 wraparound channels per line, and
         // there are num_nodes/radix lines per dimension.
-        prop_assert_eq!(wrap_count, dims * 2 * (t.num_nodes() / radix));
-    }
+        assert_eq!(wrap_count, dims * 2 * (t.num_nodes() / radix));
+    });
 }

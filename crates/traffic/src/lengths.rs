@@ -1,7 +1,6 @@
 //! Message-length distributions.
 
 use cr_sim::SimRng;
-use serde::{Deserialize, Serialize};
 
 /// Distribution of message lengths, in flits (header and tail
 /// included).
@@ -9,7 +8,7 @@ use serde::{Deserialize, Serialize};
 /// The paper's main experiments use fixed 16-flit messages; the
 /// bimodal option reproduces the short/long mixes of the authors'
 /// companion study (reference \[32\]).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum LengthDistribution {
     /// Every message has exactly this many flits.
     Fixed(usize),

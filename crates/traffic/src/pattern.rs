@@ -1,7 +1,6 @@
 //! Destination-selection patterns.
 
 use cr_sim::{NodeId, SimRng};
-use serde::{Deserialize, Serialize};
 
 /// How a source node chooses message destinations.
 ///
@@ -10,7 +9,7 @@ use serde::{Deserialize, Serialize};
 /// therefore require the node count to be a power of two; they are the
 /// classic adversarial patterns for dimension-order routing, which is
 /// exactly why the paper predicts CR's advantage grows on them.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum TrafficPattern {
     /// Uniformly random destination (excluding the source itself) — the
     /// paper's primary workload.

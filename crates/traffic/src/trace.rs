@@ -8,10 +8,9 @@
 //! bursts.
 
 use cr_sim::{Cycle, NodeId, SimRng};
-use serde::{Deserialize, Serialize};
 
 /// One timed message in a trace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Cycle at which the source hands the message to its injector.
     pub at: Cycle,
@@ -39,7 +38,7 @@ pub struct TraceEvent {
 /// // Events are kept sorted by time:
 /// assert_eq!(trace.events()[0].at, Cycle::new(0));
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Trace {
     events: Vec<TraceEvent>,
 }

@@ -1,20 +1,18 @@
 //! Property-based tests of the traffic generators.
 
+use cr_sim::check::{check, Config};
 use cr_sim::{NodeId, SimRng};
 use cr_traffic::{LengthDistribution, TrafficPattern, TrafficSource};
-use proptest::prelude::*;
 
-proptest! {
-    /// Every pattern keeps destinations in range and never
-    /// self-addresses, on any power-of-two network.
-    #[test]
-    fn destinations_in_range_never_self(
-        bits in 2u32..7,
-        src in 0u32..64,
-        seed in any::<u64>(),
-    ) {
+/// Every pattern keeps destinations in range and never self-addresses,
+/// on any power-of-two network.
+#[test]
+fn destinations_in_range_never_self() {
+    check("destinations_in_range_never_self", Config::default(), |source| {
+        let bits = source.u32_in(2..7);
         let n = 1usize << bits;
-        let src = NodeId::new(src % n as u32);
+        let src = NodeId::new(source.u32_in(0..64) % n as u32);
+        let seed = source.u64_any();
         let mut rng = SimRng::from_seed(seed);
         let patterns = [
             TrafficPattern::Uniform,
@@ -28,17 +26,20 @@ proptest! {
         for p in patterns {
             for _ in 0..8 {
                 if let Some(d) = p.destination(src, n, &mut rng) {
-                    prop_assert!(d.index() < n, "{p:?} out of range");
-                    prop_assert_ne!(d, src, "{:?} self-addressed", p);
+                    assert!(d.index() < n, "{p:?} out of range");
+                    assert_ne!(d, src, "{p:?} self-addressed");
                 }
             }
         }
-    }
+    });
+}
 
-    /// Deterministic permutations are injective over the whole node
-    /// set (counting silent fixed points as mapped to themselves).
-    #[test]
-    fn permutations_are_injective(bits in 2u32..7) {
+/// Deterministic permutations are injective over the whole node set
+/// (counting silent fixed points as mapped to themselves).
+#[test]
+fn permutations_are_injective() {
+    check("permutations_are_injective", Config::default(), |source| {
+        let bits = source.u32_in(2..7);
         let n = 1usize << bits;
         let mut rng = SimRng::from_seed(1);
         for p in [
@@ -52,20 +53,20 @@ proptest! {
             for s in 0..n {
                 let src = NodeId::new(s as u32);
                 let d = p.destination(src, n, &mut rng).unwrap_or(src);
-                prop_assert!(seen.insert(d), "{p:?} not injective at {s}");
+                assert!(seen.insert(d), "{p:?} not injective at {s}");
             }
         }
-    }
+    });
+}
 
-    /// The measured offered load tracks the configured load for any
-    /// length distribution.
-    #[test]
-    fn offered_load_calibrated(
-        load_millis in 10u32..800,
-        len in 2usize..40,
-        seed in any::<u64>(),
-    ) {
-        let load = f64::from(load_millis) / 1000.0;
+/// The measured offered load tracks the configured load for any length
+/// distribution.
+#[test]
+fn offered_load_calibrated() {
+    check("offered_load_calibrated", Config::default(), |source| {
+        let load = f64::from(source.u32_in(10..800)) / 1000.0;
+        let len = source.usize_in(2..40);
+        let seed = source.u64_any();
         let mut src = TrafficSource::new(
             NodeId::new(0),
             64,
@@ -82,37 +83,38 @@ proptest! {
             }
         }
         let measured = flits as f64 / cycles as f64;
-        prop_assert!(
+        assert!(
             (measured - load).abs() < 0.05 + load * 0.12,
             "configured {load}, measured {measured}"
         );
-    }
+    });
+}
 
-    /// Length distributions always return lengths within their stated
-    /// support.
-    #[test]
-    fn lengths_stay_in_support(
-        short in 2usize..10,
-        extra in 0usize..50,
-        frac_millis in 0u32..=1000,
-        seed in any::<u64>(),
-    ) {
+/// Length distributions always return lengths within their stated
+/// support.
+#[test]
+fn lengths_stay_in_support() {
+    check("lengths_stay_in_support", Config::default(), |src| {
+        let short = src.usize_in(2..10);
+        let extra = src.usize_in(0..50);
+        let frac = f64::from(src.u32_in(0..1001)) / 1000.0;
+        let seed = src.u64_any();
         let long = short + extra;
         let d = LengthDistribution::Bimodal {
             short,
             long,
-            long_fraction: f64::from(frac_millis) / 1000.0,
+            long_fraction: frac,
         };
         let mut rng = SimRng::from_seed(seed);
         for _ in 0..64 {
             let l = d.sample(&mut rng);
-            prop_assert!(l == short || l == long);
-            prop_assert!(l <= d.max());
+            assert!(l == short || l == long);
+            assert!(l <= d.max());
         }
         let u = LengthDistribution::UniformRange { min: short, max: long };
         for _ in 0..64 {
             let l = u.sample(&mut rng);
-            prop_assert!((short..=long).contains(&l));
+            assert!((short..=long).contains(&l));
         }
-    }
+    });
 }

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 verification, run exactly as CI does: build and test the whole
+# workspace offline. The workspace has zero external dependencies, so
+# this must pass with an empty registry cache and no network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+
+echo "verify: OK"

@@ -65,7 +65,7 @@ pub mod prelude {
         Network, NetworkBuilder, ProtocolKind, RetransmitScheme, RoutingKind, SimReport,
     };
     pub use cr_faults::FaultModel;
-    pub use cr_sim::{Cycle, MessageId, NodeId, SimRng};
+    pub use cr_sim::{Cycle, MessageId, NodeId, Rng, SimRng};
     pub use cr_topology::{GraphTopology, Hypercube, KAryNCube, Topology};
     pub use cr_traffic::{LengthDistribution, TrafficPattern};
 }

@@ -1,0 +1,145 @@
+//! Guards the zero-dependency build: every manifest in the workspace
+//! may depend only on sibling path crates, never on registry packages.
+//!
+//! The reproduction must build with `--offline` and an empty registry
+//! cache (see README "Offline / hermetic build"); a stray
+//! `rand = "0.8"` in any `[dependencies]` table would silently break
+//! that on the next machine. The check parses the manifests directly —
+//! line-oriented, since there is (by design) no TOML crate to lean on —
+//! so it also catches dependencies that are declared but never
+//! imported.
+
+use std::path::{Path, PathBuf};
+
+/// Collects every Cargo.toml in the workspace: the root manifest plus
+/// one per `crates/*` member.
+fn workspace_manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates_dir = root.join("crates");
+    let entries = std::fs::read_dir(&crates_dir).expect("read crates/");
+    for entry in entries {
+        let manifest = entry.expect("read dir entry").path().join("Cargo.toml");
+        assert!(
+            manifest.is_file(),
+            "workspace member without a manifest: {}",
+            manifest.display()
+        );
+        manifests.push(manifest);
+    }
+    assert!(manifests.len() >= 2, "no workspace members found");
+    manifests
+}
+
+/// True for table headers that declare dependencies, including
+/// target-specific ones like `[target.'cfg(unix)'.dependencies]`.
+fn is_dependency_table(header: &str) -> bool {
+    header.ends_with("dependencies]") || header.ends_with("dependencies")
+}
+
+/// Extracts `(name, spec)` lines from the dependency tables of one
+/// manifest.
+fn dependency_entries(text: &str) -> Vec<(String, String)> {
+    let mut entries = Vec::new();
+    let mut in_dep_table = false;
+    for raw in text.lines() {
+        let line = raw.split_once('#').map_or(raw, |(code, _)| code).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            in_dep_table = is_dependency_table(line.trim_matches(['[', ']']));
+            continue;
+        }
+        if !in_dep_table {
+            continue;
+        }
+        let Some((name, spec)) = line.split_once('=') else {
+            continue;
+        };
+        entries.push((name.trim().to_string(), spec.trim().to_string()));
+    }
+    entries
+}
+
+/// A dependency is hermetic iff it resolves by path: either an inline
+/// `path = ...` table or a `<name>.workspace = true` reference whose
+/// workspace entry is itself a path dependency (checked separately on
+/// the root manifest).
+fn is_hermetic(name: &str, spec: &str) -> bool {
+    if name.ends_with(".workspace") || spec.contains("workspace = true") {
+        return true;
+    }
+    spec.contains("path =") || spec.contains("path=")
+}
+
+#[test]
+fn all_dependencies_are_path_dependencies() {
+    for manifest in workspace_manifests() {
+        let text = std::fs::read_to_string(&manifest)
+            .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()));
+        for (name, spec) in dependency_entries(&text) {
+            assert!(
+                is_hermetic(&name, &spec),
+                "non-path dependency `{name} = {spec}` in {} — the workspace \
+                 must keep building offline with an empty registry cache",
+                manifest.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn workspace_dependency_table_is_all_paths() {
+    // The shared [workspace.dependencies] table is where a registry
+    // dependency would most likely sneak back in; check it explicitly
+    // so the failure names the root manifest.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("Cargo.toml");
+    let text = std::fs::read_to_string(&root).expect("read root Cargo.toml");
+    let mut in_table = false;
+    let mut checked = 0;
+    for raw in text.lines() {
+        let line = raw.split_once('#').map_or(raw, |(code, _)| code).trim();
+        if line.starts_with('[') {
+            in_table = line == "[workspace.dependencies]";
+            continue;
+        }
+        if !in_table || line.is_empty() {
+            continue;
+        }
+        let (name, spec) = line.split_once('=').expect("dependency line");
+        assert!(
+            spec.contains("path ="),
+            "workspace dependency `{}` is not a path dependency: {}",
+            name.trim(),
+            spec.trim()
+        );
+        checked += 1;
+    }
+    assert!(checked > 0, "[workspace.dependencies] not found or empty");
+}
+
+#[test]
+fn no_retired_crate_names_anywhere() {
+    // The crates this workspace replaced with in-repo modules must not
+    // reappear even as names (a `use rand::` would fail the build, but
+    // a manifest line or doc instruction would only fail at the next
+    // offline rebuild).
+    let retired = [
+        "rand_chacha",
+        "proptest",
+        "criterion",
+        "serde_json",
+        "serde",
+    ];
+    for manifest in workspace_manifests() {
+        let text = std::fs::read_to_string(&manifest).expect("read manifest");
+        for name in retired {
+            assert!(
+                !text.contains(name),
+                "retired dependency name `{name}` appears in {}",
+                manifest.display()
+            );
+        }
+    }
+}

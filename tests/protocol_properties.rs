@@ -3,7 +3,7 @@
 //! Compressionless Routing must hold.
 
 use compressionless_routing::prelude::*;
-use proptest::prelude::*;
+use cr_sim::check::{check, Config, Source};
 use std::collections::HashMap;
 
 /// A randomly drawn scenario.
@@ -21,40 +21,35 @@ struct Scenario {
     seed: u64,
 }
 
-fn scenario() -> impl Strategy<Value = Scenario> {
-    (
-        2usize..5,              // radix
-        any::<bool>(),          // torus or mesh
-        1usize..3,              // vcs
-        1usize..4,              // buffer depth
-        2u32..24,               // payload length
-        prop::collection::vec((0u32..16, 0u32..16), 1..40),
-        4u64..64,               // timeout
-        (1usize..3, 1usize..3), // interface channels
-        any::<u64>(),           // seed
-    )
-        .prop_map(
-            |(radix, torus, vcs, buffer_depth, payload_len, raw, timeout, chans, seed)| {
-                let n = (radix * radix) as u32;
-                let messages = raw
-                    .into_iter()
-                    .map(|(s, d)| (s % n, d % n))
-                    .filter(|(s, d)| s != d)
-                    .collect();
-                Scenario {
-                    radix,
-                    torus,
-                    vcs,
-                    buffer_depth,
-                    payload_len,
-                    messages,
-                    timeout,
-                    inject_channels: chans.0,
-                    eject_channels: chans.1,
-                    seed,
-                }
-            },
-        )
+fn scenario(src: &mut Source<'_>) -> Scenario {
+    let radix = src.usize_in(2..5);
+    let torus = src.bool_any();
+    let vcs = src.usize_in(1..3);
+    let buffer_depth = src.usize_in(1..4);
+    let payload_len = src.u32_in(2..24);
+    let raw = src.vec_with(1..40, |s| (s.u32_in(0..16), s.u32_in(0..16)));
+    let timeout = src.u64_in(4..64);
+    let inject_channels = src.usize_in(1..3);
+    let eject_channels = src.usize_in(1..3);
+    let seed = src.u64_any();
+    let n = (radix * radix) as u32;
+    let messages = raw
+        .into_iter()
+        .map(|(s, d)| (s % n, d % n))
+        .filter(|(s, d)| s != d)
+        .collect();
+    Scenario {
+        radix,
+        torus,
+        vcs,
+        buffer_depth,
+        payload_len,
+        messages,
+        timeout,
+        inject_channels,
+        eject_channels,
+        seed,
+    }
 }
 
 fn build(s: &Scenario, protocol: ProtocolKind, faults: FaultModel) -> Network {
@@ -76,73 +71,84 @@ fn build(s: &Scenario, protocol: ProtocolKind, faults: FaultModel) -> Network {
     b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// CR delivers every message exactly once, in per-pair order, on
-    /// any cube, any buffer depth, any timeout — and the network
-    /// drains completely (no leaked flits, no stuck channels).
-    #[test]
-    fn cr_exactly_once_in_order_any_configuration(s in scenario()) {
-        let mut net = build(&s, ProtocolKind::Cr, FaultModel::new());
-        net.set_record_deliveries(true);
-        for &(src, dst) in &s.messages {
-            net.send_message(NodeId::new(src), NodeId::new(dst), s.payload_len);
-        }
-        let drained = net.run_until_quiescent(500_000);
-        prop_assert!(drained, "network failed to drain: {s:?}");
-
-        let log = net.take_delivery_log();
-        prop_assert_eq!(log.len(), s.messages.len(), "exactly-once");
-
-        let mut last: HashMap<(u32, u32), u64> = HashMap::new();
-        for m in &log {
-            let key = (m.src.as_u32(), m.dst.as_u32());
-            if let Some(prev) = last.get(&key) {
-                prop_assert!(m.msg_seq > *prev, "order violated for {:?}", key);
+/// CR delivers every message exactly once, in per-pair order, on any
+/// cube, any buffer depth, any timeout — and the network drains
+/// completely (no leaked flits, no stuck channels).
+#[test]
+fn cr_exactly_once_in_order_any_configuration() {
+    check(
+        "cr_exactly_once_in_order_any_configuration",
+        Config::cases(24),
+        |src| {
+            let s = scenario(src);
+            let mut net = build(&s, ProtocolKind::Cr, FaultModel::new());
+            net.set_record_deliveries(true);
+            for &(src, dst) in &s.messages {
+                net.send_message(NodeId::new(src), NodeId::new(dst), s.payload_len);
             }
-            last.insert(key, m.msg_seq);
-            prop_assert!(!m.corrupt);
-        }
-        prop_assert_eq!(net.flits_in_flight(), 0);
-    }
+            let drained = net.run_until_quiescent(500_000);
+            assert!(drained, "network failed to drain: {s:?}");
 
-    /// FCR under transient faults: same invariants, plus integrity.
-    ///
-    /// Rates span 5e-3 .. 5e-5 per flit-hop — beyond the paper's
-    /// range already. (Much higher rates are still *live* — every
-    /// message keeps retrying with backoff — but convergence time
-    /// grows geometrically, which is not what this test is about.)
-    #[test]
-    fn fcr_integrity_under_random_transient_faults(
-        s in scenario(),
-        rate_exp in 2u32..5,
-    ) {
-        let mut faults = FaultModel::new();
-        faults.set_transient_rate(5.0 * 10f64.powi(-(rate_exp as i32 + 1)));
-        let mut net = build(&s, ProtocolKind::Fcr, faults);
-        net.set_record_deliveries(true);
-        for &(src, dst) in &s.messages {
-            net.send_message(NodeId::new(src), NodeId::new(dst), s.payload_len);
-        }
-        let drained = net.run_until_quiescent(1_000_000);
-        prop_assert!(drained, "faulty network failed to drain: {s:?}");
+            let log = net.take_delivery_log();
+            assert_eq!(log.len(), s.messages.len(), "exactly-once");
 
-        let log = net.take_delivery_log();
-        prop_assert_eq!(log.len(), s.messages.len(), "exactly-once despite faults");
-        prop_assert!(log.iter().all(|m| !m.corrupt), "integrity violated");
-        prop_assert_eq!(net.counters().corrupt_payload_delivered, 0);
-    }
+            let mut last: HashMap<(u32, u32), u64> = HashMap::new();
+            for m in &log {
+                let key = (m.src.as_u32(), m.dst.as_u32());
+                if let Some(prev) = last.get(&key) {
+                    assert!(m.msg_seq > *prev, "order violated for {key:?}");
+                }
+                last.insert(key, m.msg_seq);
+                assert!(!m.corrupt);
+            }
+            assert_eq!(net.flits_in_flight(), 0);
+        },
+    );
+}
 
-    /// After draining, every router's credits are fully restored —
-    /// kill teardown never leaks flow-control state.
-    #[test]
-    fn credits_conserved_after_any_cr_burst(s in scenario()) {
+/// FCR under transient faults: same invariants, plus integrity.
+///
+/// Rates span 5e-3 .. 5e-5 per flit-hop — beyond the paper's range
+/// already. (Much higher rates are still *live* — every message keeps
+/// retrying with backoff — but convergence time grows geometrically,
+/// which is not what this test is about.)
+#[test]
+fn fcr_integrity_under_random_transient_faults() {
+    check(
+        "fcr_integrity_under_random_transient_faults",
+        Config::cases(24),
+        |src| {
+            let s = scenario(src);
+            let rate_exp = src.u32_in(2..5);
+            let mut faults = FaultModel::new();
+            faults.set_transient_rate(5.0 * 10f64.powi(-(rate_exp as i32 + 1)));
+            let mut net = build(&s, ProtocolKind::Fcr, faults);
+            net.set_record_deliveries(true);
+            for &(src, dst) in &s.messages {
+                net.send_message(NodeId::new(src), NodeId::new(dst), s.payload_len);
+            }
+            let drained = net.run_until_quiescent(1_000_000);
+            assert!(drained, "faulty network failed to drain: {s:?}");
+
+            let log = net.take_delivery_log();
+            assert_eq!(log.len(), s.messages.len(), "exactly-once despite faults");
+            assert!(log.iter().all(|m| !m.corrupt), "integrity violated");
+            assert_eq!(net.counters().corrupt_payload_delivered, 0);
+        },
+    );
+}
+
+/// After draining, every router's credits are fully restored — kill
+/// teardown never leaks flow-control state.
+#[test]
+fn credits_conserved_after_any_cr_burst() {
+    check("credits_conserved_after_any_cr_burst", Config::cases(24), |src| {
+        let s = scenario(src);
         let mut net = build(&s, ProtocolKind::Cr, FaultModel::new());
         for &(src, dst) in &s.messages {
             net.send_message(NodeId::new(src), NodeId::new(dst), s.payload_len);
         }
-        prop_assert!(net.run_until_quiescent(500_000));
+        assert!(net.run_until_quiescent(500_000));
         let full = s.buffer_depth + 1; // + channel latch (latency 1)
         let n = net.topology().num_nodes();
         for i in 0..n {
@@ -155,17 +161,20 @@ proptest! {
                 }
                 for v in 0..s.vcs {
                     let vc = cr_sim::VcId::new(v as u8);
-                    prop_assert_eq!(r.credits(port, vc), full, "leak at {} {} {}", node, port, vc);
-                    prop_assert!(r.output_owner(port, vc).is_none());
-                    prop_assert_eq!(r.occupancy(port, vc), 0);
+                    assert_eq!(r.credits(port, vc), full, "leak at {node} {port} {vc}");
+                    assert!(r.output_owner(port, vc).is_none());
+                    assert_eq!(r.occupancy(port, vc), 0);
                 }
             }
         }
-    }
+    });
+}
 
-    /// Determinism: any scenario replayed gives the identical report.
-    #[test]
-    fn replay_determinism(s in scenario()) {
+/// Determinism: any scenario replayed gives the identical report.
+#[test]
+fn replay_determinism() {
+    check("replay_determinism", Config::cases(24), |src| {
+        let s = scenario(src);
         let run = || {
             let mut net = build(&s, ProtocolKind::Cr, FaultModel::new());
             for &(src, dst) in &s.messages {
@@ -180,6 +189,6 @@ proptest! {
                 r.cycles,
             )
         };
-        prop_assert_eq!(run(), run());
-    }
+        assert_eq!(run(), run());
+    });
 }
