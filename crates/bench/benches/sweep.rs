@@ -1,0 +1,79 @@
+//! Serial-vs-parallel sweep executor baseline.
+//!
+//! Runs the same fixed CR load sweep through [`SweepRunner::new(1)`]
+//! (the old serial path) and [`SweepRunner::new(jobs)`] at the host's
+//! effective parallelism, at `Scale::Tiny` and `Scale::Quick`. The
+//! resulting `target/bench/BENCH_sweep.json` records the wall clock of
+//! each configuration plus a derived simulated-cycles-per-second
+//! throughput, and its `meta` block states the job count the run was
+//! measured under — the committed repo-root snapshot is the recorded
+//! baseline the ISSUE asks for.
+//!
+//! The sweeps are bit-identical by construction (each point owns its
+//! seed), so the two configurations do identical work; any wall-clock
+//! difference is pure executor overhead or parallel speedup.
+
+use cr_bench::harness::Group;
+use cr_core::{ProtocolKind, RoutingKind};
+use cr_experiments::{Scale, SweepRunner};
+use cr_sim::pool;
+use cr_traffic::{LengthDistribution, TrafficPattern};
+
+/// Points per sweep: 2 VC counts x 4 loads.
+const VC_COUNTS: [usize; 2] = [1, 2];
+const LOADS: [f64; 4] = [0.1, 0.2, 0.3, 0.4];
+
+fn run_sweep(jobs: usize, scale: Scale) -> usize {
+    let mut points: Vec<(usize, f64)> = Vec::new();
+    for vcs in VC_COUNTS {
+        for load in LOADS {
+            points.push((vcs, load));
+        }
+    }
+    let delivered: Vec<u64> = SweepRunner::new(jobs).run(
+        points
+            .into_iter()
+            .map(|(vcs, load)| {
+                move || {
+                    let mut b = scale.builder();
+                    b.routing(RoutingKind::Adaptive { vcs })
+                        .protocol(ProtocolKind::Cr)
+                        .traffic(TrafficPattern::Uniform, LengthDistribution::Fixed(16), load)
+                        .seed(0xB0);
+                    let mut net = b.build();
+                    net.run(scale.cycles()).counters.messages_delivered
+                }
+            })
+            .collect(),
+    );
+    delivered.len()
+}
+
+fn sim_cycles(scale: Scale) -> u64 {
+    (VC_COUNTS.len() * LOADS.len()) as u64 * (scale.warmup() + scale.cycles())
+}
+
+fn main() {
+    let jobs = pool::effective_jobs(None);
+    let mut g = Group::new("sweep");
+
+    g.sample_size(10);
+    g.bench_cycles("tiny_serial", sim_cycles(Scale::Tiny), || {
+        run_sweep(1, Scale::Tiny)
+    });
+    g.bench_cycles(&format!("tiny_parallel_j{jobs}"), sim_cycles(Scale::Tiny), || {
+        run_sweep(jobs, Scale::Tiny)
+    });
+
+    g.sample_size(5);
+    g.bench_cycles("quick_serial", sim_cycles(Scale::Quick), || {
+        run_sweep(1, Scale::Quick)
+    });
+    g.bench_cycles(
+        &format!("quick_parallel_j{jobs}"),
+        sim_cycles(Scale::Quick),
+        || run_sweep(jobs, Scale::Quick),
+    );
+
+    g.finish();
+}

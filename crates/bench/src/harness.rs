@@ -29,6 +29,9 @@ pub struct BenchResult {
     pub p95_ns: u64,
     /// Arithmetic mean of all samples.
     pub mean_ns: u64,
+    /// Simulated cycles per iteration (0 when the benchmark is not a
+    /// simulation and throughput is meaningless).
+    pub sim_cycles: u64,
 }
 
 /// A named collection of benchmarks that report together.
@@ -46,6 +49,8 @@ pub struct Group {
     samples: u32,
     warmup: u32,
     results: Vec<BenchResult>,
+    started: Instant,
+    jobs: usize,
 }
 
 impl Group {
@@ -61,6 +66,8 @@ impl Group {
             samples,
             warmup: 3,
             results: Vec::new(),
+            started: Instant::now(),
+            jobs: cr_sim::pool::effective_jobs(None),
         }
     }
 
@@ -76,6 +83,16 @@ impl Group {
     /// Benchmarks `routine`, timing each call.
     pub fn bench<T>(&mut self, name: &str, mut routine: impl FnMut() -> T) {
         self.bench_with_setup(name, || (), |()| routine());
+    }
+
+    /// Benchmarks a simulation `routine` that advances `sim_cycles`
+    /// simulated cycles per call; the JSON gains a derived
+    /// `cycles_per_sec` throughput figure.
+    pub fn bench_cycles<T>(&mut self, name: &str, sim_cycles: u64, mut routine: impl FnMut() -> T) {
+        self.bench_with_setup(name, || (), |()| routine());
+        if let Some(last) = self.results.last_mut() {
+            last.sim_cycles = sim_cycles;
+        }
     }
 
     /// Benchmarks `routine` with a fresh untimed `setup` product per
@@ -109,6 +126,7 @@ impl Group {
             median_ns: samples_ns[n / 2],
             p95_ns: samples_ns[(n * 95 / 100).min(n - 1)],
             mean_ns: samples_ns.iter().sum::<u64>() / n as u64,
+            sim_cycles: 0,
         };
         println!(
             "{:<28} {:>14} median  {:>14} p95  ({} samples)",
@@ -121,20 +139,43 @@ impl Group {
     }
 
     /// The group's results as the `BENCH_<group>.json` document.
+    ///
+    /// The `meta` block records the wall clock elapsed since the group
+    /// was created and the effective parallelism
+    /// ([`cr_sim::pool::effective_jobs`] at group creation), so a
+    /// recorded baseline states the conditions it was measured under.
     pub fn to_json(&self) -> Json {
         Json::obj([
             ("group", Json::from(self.name.as_str())),
             (
+                "meta",
+                Json::obj([
+                    (
+                        "elapsed_ns",
+                        Json::from(
+                            u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX),
+                        ),
+                    ),
+                    ("jobs", Json::from(self.jobs as u64)),
+                ]),
+            ),
+            (
                 "benchmarks",
                 Json::arr(self.results.iter().map(|r| {
-                    Json::obj([
+                    let mut fields = vec![
                         ("name", Json::from(r.name.as_str())),
                         ("samples", Json::from(r.samples)),
                         ("min_ns", Json::from(r.min_ns)),
                         ("median_ns", Json::from(r.median_ns)),
                         ("p95_ns", Json::from(r.p95_ns)),
                         ("mean_ns", Json::from(r.mean_ns)),
-                    ])
+                    ];
+                    if r.sim_cycles > 0 {
+                        fields.push(("sim_cycles", Json::from(r.sim_cycles)));
+                        let cps = r.sim_cycles as f64 * 1e9 / r.median_ns.max(1) as f64;
+                        fields.push(("cycles_per_sec", Json::from(cps.round() as u64)));
+                    }
+                    Json::obj(fields)
                 })),
             ),
         ])
@@ -250,6 +291,19 @@ mod tests {
             p95 < slow_setup_ns / 10,
             "routine p95 {p95}ns suspiciously close to setup {slow_setup_ns}ns"
         );
+    }
+
+    #[test]
+    fn meta_block_records_elapsed_and_jobs() {
+        let mut g = Group::new("harness_selftest_meta");
+        g.sample_size(2);
+        g.bench("noop", || 1u64 + 1);
+        let json = g.to_json();
+        let meta = json.get("meta").expect("meta block");
+        let elapsed = meta.get("elapsed_ns").and_then(Json::as_u64).unwrap();
+        let jobs = meta.get("jobs").and_then(Json::as_u64).unwrap();
+        assert!(elapsed > 0, "wall clock must have advanced");
+        assert!(jobs >= 1, "effective parallelism is at least one");
     }
 
     #[test]

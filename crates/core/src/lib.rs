@@ -53,6 +53,7 @@
 mod builder;
 mod config;
 mod injector;
+mod killmap;
 mod network;
 mod receiver;
 mod report;

@@ -22,15 +22,18 @@
 
 use crate::config::NetworkConfig;
 use crate::injector::{Injector, PendingMessage};
+use crate::killmap::KilledMap;
 use crate::receiver::Receiver;
 use crate::report::{NetCounters, SimReport};
 use cr_faults::FaultModel;
 use cr_metrics::{LatencyRecorder, ThroughputMeter};
-use cr_router::{Flit, PortKind, RouteTarget, Router, RouterConfig, RoutingFunction, WormId};
+use cr_router::{
+    Flit, PortKind, RouteTarget, Router, RouterConfig, RoutingFunction, Traversal, WormId,
+};
 use cr_sim::{Cycle, MessageId, NodeId, PortId, SimRng, VcId};
 use cr_topology::Topology;
 use cr_traffic::TrafficSource;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 #[derive(Debug)]
 struct LinkState {
@@ -38,6 +41,9 @@ struct LinkState {
     /// latches, one lane per virtual channel so a blocked VC never
     /// blocks the others: (arrival cycle, flit).
     lanes: Vec<VecDeque<(Cycle, Flit)>>,
+    /// Total flits across all lanes, so the per-cycle arrival scan can
+    /// skip idle links without touching their lane deques.
+    occupied: usize,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -47,6 +53,9 @@ struct Token {
     port: PortId,
     vc: VcId,
 }
+
+/// Sentinel in `worm_sources` for delivered messages.
+const SOURCE_GONE: u32 = u32::MAX;
 
 /// A complete simulated network. Build one with
 /// [`NetworkBuilder`](crate::NetworkBuilder).
@@ -76,15 +85,28 @@ pub struct Network {
     /// Post-warmup flits carried per link (channel-utilization
     /// statistics).
     link_flits: Vec<u64>,
-    killed: HashMap<WormId, Cycle>,
+    killed: KilledMap,
     registry_lifetime: u64,
     fwd_tokens: Vec<Token>,
     bwd_tokens: Vec<Token>,
-    worm_sources: HashMap<MessageId, (usize, usize)>,
+    /// Token double-buffers: `step_tokens_once` swaps the live lists
+    /// into these so re-pushed continuation tokens reuse capacity
+    /// instead of reallocating every teardown step.
+    fwd_scratch: Vec<Token>,
+    bwd_scratch: Vec<Token>,
+    /// `worm_sources[message]` = `src * inject_channels + channel`,
+    /// indexed by the dense monotonic [`MessageId`];
+    /// [`SOURCE_GONE`] once the message is delivered.
+    worm_sources: Vec<u32>,
     /// Future trace events, time-sorted (front = next due).
     scheduled: VecDeque<cr_traffic::TraceEvent>,
-    seq_counters: HashMap<(u32, u32), u64>,
+    /// `seq_counters[src * n + dst]` = next per-flow sequence number.
+    seq_counters: Vec<u64>,
     next_message_id: u64,
+    /// Per-cycle switch-traversal output, reused across cycles.
+    traversal_scratch: Vec<Traversal>,
+    /// Per-cycle path-wide stall list, reused across cycles.
+    stall_scratch: Vec<(PortId, VcId, WormId)>,
 
     now: Cycle,
     record_deliveries: bool,
@@ -193,6 +215,7 @@ impl Network {
         for (idx, d) in descs.iter().enumerate() {
             links.push(LinkState {
                 lanes: (0..num_vcs).map(|_| VecDeque::new()).collect(),
+                occupied: 0,
             });
             out_link[d.src.index()][d.src_port.index()] = Some(idx);
             link_head.push((d.dst.index(), d.dst_port));
@@ -231,14 +254,18 @@ impl Network {
             link_head,
             link_ids,
             in_upstream,
-            killed: HashMap::new(),
+            killed: KilledMap::new(),
             registry_lifetime,
             fwd_tokens: Vec::new(),
             bwd_tokens: Vec::new(),
-            worm_sources: HashMap::new(),
+            fwd_scratch: Vec::new(),
+            bwd_scratch: Vec::new(),
+            worm_sources: Vec::new(),
             scheduled: VecDeque::new(),
-            seq_counters: HashMap::new(),
+            seq_counters: vec![0; n * n],
             next_message_id: 0,
+            traversal_scratch: Vec::new(),
+            stall_scratch: Vec::new(),
             now: Cycle::ZERO,
             record_deliveries: false,
             delivery_log: Vec::new(),
@@ -312,12 +339,19 @@ impl Network {
     /// Flits currently buffered in routers or in flight on links.
     pub fn flits_in_flight(&self) -> usize {
         self.routers.iter().map(Router::total_occupancy).sum::<usize>()
-            + self
-                .links
-                .iter()
-                .flat_map(|l| l.lanes.iter())
-                .map(VecDeque::len)
-                .sum::<usize>()
+            + self.links.iter().map(|l| l.occupied).sum::<usize>()
+    }
+
+    /// `(node, channel)` of the injector that sent `message`, unless
+    /// delivery already retired it.
+    fn source_of(&self, message: MessageId) -> Option<(usize, usize)> {
+        match self.worm_sources.get(message.as_u64() as usize) {
+            Some(&encoded) if encoded != SOURCE_GONE => {
+                let chans = self.cfg.inject_channels;
+                Some((encoded as usize / chans, encoded as usize % chans))
+            }
+            _ => None,
+        }
     }
 
     /// Queues a message for transmission, bypassing the traffic
@@ -336,12 +370,9 @@ impl Network {
         assert!(payload_len >= 2, "a worm needs a head and a tail");
         let id = MessageId::new(self.next_message_id);
         self.next_message_id += 1;
-        let seq = self
-            .seq_counters
-            .entry((src.as_u32(), dst.as_u32()))
-            .or_insert(0);
-        let msg_seq = *seq;
-        *seq += 1;
+        let flow = src.index() * self.topo.num_nodes() + dst.index();
+        let msg_seq = self.seq_counters[flow];
+        self.seq_counters[flow] += 1;
         let hops = self.topo.distance(src, dst);
         let budget = self.cfg.routing.misroute_budget() as usize;
         let channel = dst.index() % self.cfg.inject_channels;
@@ -356,7 +387,12 @@ impl Network {
             i_min: self.cfg.i_min(hops + budget),
             attempts: 0,
         };
-        self.worm_sources.insert(id, (src.index(), channel));
+        // Message ids are dense and monotonic, so the source table is
+        // a plain push-indexed vector.
+        debug_assert_eq!(self.worm_sources.len() as u64, id.as_u64());
+        let encoded = (src.index() * self.cfg.inject_channels + channel) as u32;
+        debug_assert_ne!(encoded, SOURCE_GONE);
+        self.worm_sources.push(encoded);
         self.injectors[src.index()][channel].enqueue(msg);
         self.counters.messages_generated += 1;
         id
@@ -371,11 +407,14 @@ impl Network {
     /// Panics if any event is self-addressed or out of range (checked
     /// when the event fires).
     pub fn schedule_trace(&mut self, trace: &cr_traffic::Trace) {
-        // Merge while keeping the queue time-sorted.
-        let mut merged: Vec<cr_traffic::TraceEvent> = self.scheduled.drain(..).collect();
-        merged.extend(trace.events().iter().copied());
-        merged.sort_by_key(|e| e.at);
-        self.scheduled = merged.into();
+        // Insert each event behind its equal-time peers: that is the
+        // order a stable sort of old-then-new would produce, and
+        // equal-time firing order is observable (it fixes message-id
+        // assignment), so it must not change.
+        for &e in trace.events() {
+            let pos = self.scheduled.partition_point(|queued| queued.at <= e.at);
+            self.scheduled.insert(pos, e);
+        }
     }
 
     /// Trace events not yet fired.
@@ -492,6 +531,9 @@ impl Network {
 
     fn phase_arrivals(&mut self, now: Cycle) {
         for li in 0..self.links.len() {
+            if self.links[li].occupied == 0 {
+                continue;
+            }
             let (dst_node, dst_port) = self.link_head[li];
             for v in 0..self.links[li].lanes.len() {
                 let vc = VcId::new(v as u8);
@@ -505,43 +547,55 @@ impl Network {
                     // the downstream buffer is full (the `link_depth`
                     // share of the credits covers exactly this
                     // occupancy).
-                    {
+                    let killed = {
                         let (_, flit) = self.links[li].lanes[v].front().expect("checked");
-                        let killed = self.killed.contains_key(&flit.worm);
+                        let killed = self.killed.contains(flit.worm);
                         if !killed && self.routers[dst_node].vc_is_full(dst_port, vc) {
                             break;
                         }
-                    }
+                        killed
+                    };
                     let (_, mut flit) = self.links[li].lanes[v].pop_front().expect("checked");
+                    self.links[li].occupied -= 1;
                     flit.hops = flit.hops.saturating_add(1);
 
-                // Fault injection: dead links corrupt every flit (the
-                // detectable-failure model); healthy links corrupt at
-                // the transient rate.
-                let link_id = self.link_ids[li];
-                if self.faults.is_dead(link_id) || self.faults.corrupts_flit(&mut self.fault_rng)
-                {
-                    if !flit.corrupted {
-                        self.counters.flits_corrupted += 1;
+                    // Fault injection: dead links corrupt every flit
+                    // (the detectable-failure model); healthy links
+                    // corrupt at the transient rate.
+                    let link_id = self.link_ids[li];
+                    if self.faults.is_dead(link_id)
+                        || self.faults.corrupts_flit(&mut self.fault_rng)
+                    {
+                        if !flit.corrupted {
+                            self.counters.flits_corrupted += 1;
+                        }
+                        flit.corrupted = true;
                     }
-                    flit.corrupted = true;
-                }
 
-                if self.killed.contains_key(&flit.worm) {
-                    self.counters.flits_dropped_killed += 1;
-                    self.credit_into(dst_node, dst_port, vc);
-                    continue;
-                }
-
-                if flit.corrupted && self.cfg.protocol.detects_faults() {
-                    if self.faults.detects_corruption(&mut self.fault_rng) {
+                    // `killed` is still current: nothing between the
+                    // peek and here touches the registry.
+                    if killed {
                         self.counters.flits_dropped_killed += 1;
                         self.credit_into(dst_node, dst_port, vc);
-                        self.kill_worm_at(now, dst_node, dst_port, vc, flit.worm, KillCause::Fault);
                         continue;
                     }
-                    self.counters.detections_missed += 1;
-                }
+
+                    if flit.corrupted && self.cfg.protocol.detects_faults() {
+                        if self.faults.detects_corruption(&mut self.fault_rng) {
+                            self.counters.flits_dropped_killed += 1;
+                            self.credit_into(dst_node, dst_port, vc);
+                            self.kill_worm_at(
+                                now,
+                                dst_node,
+                                dst_port,
+                                vc,
+                                flit.worm,
+                                KillCause::Fault,
+                            );
+                            continue;
+                        }
+                        self.counters.detections_missed += 1;
+                    }
 
                     self.routers[dst_node].accept(now, dst_port, vc, flit);
                     self.last_progress = now;
@@ -564,6 +618,7 @@ impl Network {
         let before = lane.len();
         lane.retain(|(_, f)| f.worm != worm);
         let purged = before - lane.len();
+        self.links[li].occupied -= purged;
         for _ in 0..purged {
             self.counters.flits_dropped_killed += 1;
             self.routers[up_node].add_credit(up_out, vc);
@@ -584,9 +639,13 @@ impl Network {
     }
 
     fn step_tokens_once(&mut self, now: Cycle) {
-        // Forward tokens: walk toward the destination.
-        let tokens = std::mem::take(&mut self.fwd_tokens);
-        for t in tokens {
+        // Forward tokens: walk toward the destination. Swapping with
+        // the scratch buffer (instead of `mem::take`) lets both lists
+        // keep their capacity across teardown steps.
+        self.fwd_scratch.clear();
+        std::mem::swap(&mut self.fwd_tokens, &mut self.fwd_scratch);
+        for i in 0..self.fwd_scratch.len() {
+            let t = self.fwd_scratch[i];
             crate::network::debug_worm(t.worm, || format!("{now} FWD {} at n{} {} {}", t.worm, t.node, t.port, t.vc));
             let released = self.flush_and_credit(t.node, t.port, t.vc, t.worm);
             crate::network::debug_worm(t.worm, || format!("  released {released:?}"));
@@ -610,8 +669,10 @@ impl Network {
 
         // Backward tokens: walk toward the source, ending at its
         // injector.
-        let tokens = std::mem::take(&mut self.bwd_tokens);
-        for t in tokens {
+        self.bwd_scratch.clear();
+        std::mem::swap(&mut self.bwd_tokens, &mut self.bwd_scratch);
+        for i in 0..self.bwd_scratch.len() {
+            let t = self.bwd_scratch[i];
             crate::network::debug_worm(t.worm, || format!("{now} BWD {} at n{} {} {}", t.worm, t.node, t.port, t.vc));
             let _ = self.flush_and_credit(t.node, t.port, t.vc, t.worm);
             self.continue_backward(now, t);
@@ -619,14 +680,17 @@ impl Network {
     }
 
     fn phase_path_wide(&mut self, now: Cycle, threshold: u64) {
+        let mut stalled = std::mem::take(&mut self.stall_scratch);
         for node in 0..self.routers.len() {
-            let stalled = self.routers[node].stalled_worms(now, threshold);
-            for (port, vc, worm) in stalled {
-                if self.killed.contains_key(&worm) {
+            stalled.clear();
+            self.routers[node].stalled_worms_into(now, threshold, &mut stalled);
+            for k in 0..stalled.len() {
+                let (port, vc, worm) = stalled[k];
+                if self.killed.contains(worm) {
                     continue;
                 }
                 self.counters.kills_path_wide += 1;
-                if let Some(&(sn, sc)) = self.worm_sources.get(&worm.message) {
+                if let Some((sn, sc)) = self.source_of(worm.message) {
                     if self.injectors[sn][sc].is_committed(worm) {
                         self.counters.kills_committed += 1;
                     }
@@ -634,6 +698,7 @@ impl Network {
                 self.kill_worm_at(now, node, port, vc, worm, KillCause::PathWide);
             }
         }
+        self.stall_scratch = stalled;
     }
 
     fn phase_traffic(&mut self, now: Cycle) {
@@ -686,7 +751,7 @@ impl Network {
     fn phase_route_and_traverse(&mut self, now: Cycle) {
         {
             let killed = &self.killed;
-            let is_killed = |w: cr_router::WormId| killed.contains_key(&w);
+            let is_killed = |w: cr_router::WormId| killed.contains(w);
             let routers = &mut self.routers;
             let routing = &*self.routing;
             let topo = &*self.topo;
@@ -700,13 +765,16 @@ impl Network {
                 self.credit_into(n, port, vc);
             }
         }
+        let mut traversals = std::mem::take(&mut self.traversal_scratch);
         for n in 0..self.routers.len() {
-            let traversals = {
+            traversals.clear();
+            {
                 let killed = &self.killed;
-                let is_killed = |w: cr_router::WormId| killed.contains_key(&w);
-                self.routers[n].traverse(now, &is_killed)
-            };
-            for t in traversals {
+                let is_killed = |w: cr_router::WormId| killed.contains(w);
+                self.routers[n].traverse_into(now, &is_killed, &mut traversals);
+            }
+            for k in 0..traversals.len() {
+                let t = traversals[k];
                 self.last_progress = now;
                 if self.routers[n].port_kind(t.from_port) == PortKind::Node {
                     self.credit_into(n, t.from_port, t.from_vc);
@@ -720,9 +788,10 @@ impl Network {
                         }
                         self.links[li].lanes[vc.index()]
                             .push_back((now + self.cfg.channel_latency, t.flit));
+                        self.links[li].occupied += 1;
                     }
                     RouteTarget::Eject { .. } => {
-                        if self.killed.contains_key(&t.flit.worm) {
+                        if self.killed.contains(t.flit.worm) {
                             self.counters.flits_dropped_killed += 1;
                             self.receivers[n].discard(t.flit.worm);
                             continue;
@@ -737,7 +806,8 @@ impl Network {
                             self.latency.record(m.created, now);
                             self.throughput
                                 .record_flits(now, m.payload_len as usize);
-                            if let Some((sn, sc)) = self.worm_sources.remove(&m.id) {
+                            if let Some((sn, sc)) = self.source_of(m.id) {
+                                self.worm_sources[m.id.as_u64() as usize] = SOURCE_GONE;
                                 self.injectors[sn][sc].on_delivered(m.id);
                             }
                             if self.record_deliveries {
@@ -748,13 +818,14 @@ impl Network {
                 }
             }
         }
+        self.traversal_scratch = traversals;
     }
 
     fn phase_bookkeeping(&mut self, now: Cycle) {
         if now.as_u64().is_multiple_of(256) {
             let lifetime = self.registry_lifetime;
             self.killed
-                .retain(|_, t| now.saturating_since(*t) < lifetime);
+                .retain(|t| now.saturating_since(t) < lifetime);
             let horizon = Cycle::new(now.as_u64().saturating_sub(4 * lifetime));
             for rx in &mut self.receivers {
                 rx.prune(horizon);
@@ -848,7 +919,7 @@ impl Network {
     }
 
     fn notify_source(&mut self, now: Cycle, worm: WormId) {
-        if let Some(&(sn, sc)) = self.worm_sources.get(&worm.message) {
+        if let Some((sn, sc)) = self.source_of(worm.message) {
             self.injectors[sn][sc].on_killed(now, worm);
         }
     }

@@ -8,7 +8,7 @@
 //! | `no-commit-check` | sources kill *any* stalled worm | still correct, but committed (draining) worms get killed too: more kills, more retransmissions, lower goodput |
 //! | `instant-teardown` | kill tokens walk the whole path in one cycle | an idealized infinitely-fast kill wire: bounds how much the 1-hop-per-cycle teardown latency costs |
 
-use crate::harness::{MeasuredPoint, Scale};
+use crate::harness::{sweep, MeasuredPoint, Scale};
 use crate::table::{fmt_f, Table};
 use cr_core::{Ablations, ProtocolKind, RoutingKind};
 use cr_traffic::{LengthDistribution, TrafficPattern};
@@ -90,27 +90,35 @@ pub fn run(cfg: &Config) -> Results {
             },
         ),
     ];
-    let mut rows = Vec::new();
-    for (name, ablations) in variants {
-        let mut b = cfg.scale.builder();
-        b.routing(RoutingKind::Adaptive { vcs: 1 })
-            .protocol(ProtocolKind::Cr)
-            .buffer_depth(cfg.buffer_depth)
-            .ablations(ablations)
-            .deadlock_threshold((cfg.scale.cycles() / 5).max(500))
-            .traffic(
-                cfg.pattern,
-                LengthDistribution::Fixed(cfg.message_len),
-                cfg.load,
-            )
-            .seed(cfg.seed);
-        let mut net = b.build();
-        let report = net.run(cfg.scale.cycles());
-        rows.push(Row {
-            variant: name,
-            point: MeasuredPoint::from_report(&report),
-        });
-    }
+    let scale = cfg.scale;
+    let load = cfg.load;
+    let message_len = cfg.message_len;
+    let buffer_depth = cfg.buffer_depth;
+    let pattern = cfg.pattern;
+    let seed = cfg.seed;
+    let rows = sweep(
+        variants
+            .into_iter()
+            .map(|(name, ablations)| {
+                move || {
+                    let mut b = scale.builder();
+                    b.routing(RoutingKind::Adaptive { vcs: 1 })
+                        .protocol(ProtocolKind::Cr)
+                        .buffer_depth(buffer_depth)
+                        .ablations(ablations)
+                        .deadlock_threshold((scale.cycles() / 5).max(500))
+                        .traffic(pattern, LengthDistribution::Fixed(message_len), load)
+                        .seed(seed);
+                    let mut net = b.build();
+                    let report = net.run(scale.cycles());
+                    Row {
+                        variant: name,
+                        point: MeasuredPoint::from_report(&report),
+                    }
+                }
+            })
+            .collect(),
+    );
     Results { rows }
 }
 

@@ -11,7 +11,7 @@
 //! bimodal-length workload (short messages mixed with long ones) is
 //! included, mirroring reference \[32\]'s setting.
 
-use crate::harness::Scale;
+use crate::harness::{sweep, Scale};
 use crate::table::{fmt_f, fmt_p, Table};
 use cr_core::{ProtocolKind, RoutingKind};
 use cr_traffic::{LengthDistribution, TrafficPattern};
@@ -83,43 +83,51 @@ pub fn run(cfg: &Config) -> Results {
             },
         ),
     ];
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for (wname, lengths) in workloads {
         for &load in &cfg.loads {
             for (network, routing, protocol) in [
-                (
-                    "CR",
-                    RoutingKind::Adaptive { vcs: 2 },
-                    ProtocolKind::Cr,
-                ),
+                ("CR", RoutingKind::Adaptive { vcs: 2 }, ProtocolKind::Cr),
                 (
                     "DOR",
                     RoutingKind::Dor { lanes: 1 },
                     ProtocolKind::Baseline,
                 ),
             ] {
-                let mut b = cfg.scale.builder();
-                b.routing(routing)
-                    .protocol(protocol)
-                    .traffic(TrafficPattern::Uniform, lengths, load)
-                    .seed(cfg.seed);
-                let mut net = b.build();
-                let report = net.run(cfg.scale.cycles());
-                rows.push(Row {
-                    network,
-                    workload: wname,
-                    offered: load,
-                    mean: report.mean_latency(),
-                    std_dev: report.latency.std_dev(),
-                    p50: report.latency_percentiles.0,
-                    p95: report.latency_percentiles.1,
-                    p99: report.latency_percentiles.2,
-                    max: report.latency.max(),
-                    kills: report.total_kills(),
-                });
+                points.push((wname, lengths, load, network, routing, protocol));
             }
         }
     }
+    let scale = cfg.scale;
+    let seed = cfg.seed;
+    let rows = sweep(
+        points
+            .into_iter()
+            .map(|(wname, lengths, load, network, routing, protocol)| {
+                move || {
+                    let mut b = scale.builder();
+                    b.routing(routing)
+                        .protocol(protocol)
+                        .traffic(TrafficPattern::Uniform, lengths, load)
+                        .seed(seed);
+                    let mut net = b.build();
+                    let report = net.run(scale.cycles());
+                    Row {
+                        network,
+                        workload: wname,
+                        offered: load,
+                        mean: report.mean_latency(),
+                        std_dev: report.latency.std_dev(),
+                        p50: report.latency_percentiles.0,
+                        p95: report.latency_percentiles.1,
+                        p99: report.latency_percentiles.2,
+                        max: report.latency.max(),
+                        kills: report.total_kills(),
+                    }
+                }
+            })
+            .collect(),
+    );
     Results { rows }
 }
 

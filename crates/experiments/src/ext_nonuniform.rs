@@ -7,7 +7,7 @@
 //! patterns." This experiment checks that prediction on the classic
 //! adversarial permutations.
 
-use crate::harness::{saturation_throughput, Scale};
+use crate::harness::{saturation_throughput, sweep, Scale};
 use crate::table::{fmt_f, Table};
 use cr_core::{ProtocolKind, RoutingKind};
 use cr_sim::NodeId;
@@ -77,34 +77,49 @@ pub fn run(cfg: &Config) -> Results {
         ("tornado", TrafficPattern::Tornado),
         ("hotspot-20%", hotspot),
     ];
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for (name, pattern) in patterns {
-        let cr = saturation_throughput(
-            |b| {
-                b.routing(RoutingKind::Adaptive { vcs: 2 })
-                    .protocol(ProtocolKind::Cr);
-            },
-            cfg.scale,
-            pattern,
-            cfg.message_len,
-            cfg.seed,
-        );
-        let dor = saturation_throughput(
-            |b| {
-                b.routing(RoutingKind::Dor { lanes: 1 })
-                    .protocol(ProtocolKind::Baseline);
-            },
-            cfg.scale,
-            pattern,
-            cfg.message_len,
-            cfg.seed,
-        );
-        rows.push(Row {
-            pattern: name,
-            cr_peak: cr,
-            dor_peak: dor,
-        });
+        for network in ["CR", "DOR"] {
+            points.push((name, pattern, network));
+        }
     }
+    let scale = cfg.scale;
+    let message_len = cfg.message_len;
+    let seed = cfg.seed;
+    let peaks = sweep(
+        points
+            .into_iter()
+            .map(|(name, pattern, network)| {
+                move || {
+                    let peak = saturation_throughput(
+                        |b| {
+                            if network == "CR" {
+                                b.routing(RoutingKind::Adaptive { vcs: 2 })
+                                    .protocol(ProtocolKind::Cr);
+                            } else {
+                                b.routing(RoutingKind::Dor { lanes: 1 })
+                                    .protocol(ProtocolKind::Baseline);
+                            }
+                        },
+                        scale,
+                        pattern,
+                        message_len,
+                        seed,
+                    );
+                    (name, peak)
+                }
+            })
+            .collect(),
+    );
+    // Each pattern contributed a CR point then a DOR point, in order.
+    let rows = peaks
+        .chunks(2)
+        .map(|pair| Row {
+            pattern: pair[0].0,
+            cr_peak: pair[0].1,
+            dor_peak: pair[1].1,
+        })
+        .collect();
     Results { rows }
 }
 

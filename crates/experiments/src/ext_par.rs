@@ -18,7 +18,7 @@
 //! consistent with the authors' own PAR evaluation (reference \[31\]),
 //! which found adaptivity can lose on uniform loads.
 
-use crate::harness::Scale;
+use crate::harness::{sweep, Scale};
 use crate::table::{fmt_f, Table};
 use cr_core::{NetworkBuilder, ProtocolKind, RoutingKind};
 use cr_topology::KAryNCube;
@@ -84,32 +84,41 @@ pub fn run(cfg: &Config) -> Results {
         ("uniform", TrafficPattern::Uniform),
         ("transpose", TrafficPattern::Transpose),
     ];
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for (pname, pattern) in patterns {
         for (aname, routing, protocol) in algorithms {
-            // saturation_throughput builds a torus by default; build a
-            // mesh network directly instead.
-            let peak = {
-                let mut b = NetworkBuilder::new(KAryNCube::mesh(radix, 2));
-                b.routing(routing)
-                    .protocol(protocol)
-                    .warmup(cfg.scale.warmup())
-                    .traffic(
-                        pattern,
-                        LengthDistribution::Fixed(cfg.message_len),
-                        0.95,
-                    )
-                    .seed(cfg.seed);
-                let mut net = b.build();
-                net.run(cfg.scale.cycles()).accepted_flits_per_node_cycle
-            };
-            rows.push(Row {
-                algorithm: aname,
-                pattern: pname,
-                peak,
-            });
+            points.push((pname, pattern, aname, routing, protocol));
         }
     }
+    let scale = cfg.scale;
+    let message_len = cfg.message_len;
+    let seed = cfg.seed;
+    let rows = sweep(
+        points
+            .into_iter()
+            .map(|(pname, pattern, aname, routing, protocol)| {
+                move || {
+                    // saturation_throughput builds a torus by default;
+                    // build a mesh network directly instead.
+                    let peak = {
+                        let mut b = NetworkBuilder::new(KAryNCube::mesh(radix, 2));
+                        b.routing(routing)
+                            .protocol(protocol)
+                            .warmup(scale.warmup())
+                            .traffic(pattern, LengthDistribution::Fixed(message_len), 0.95)
+                            .seed(seed);
+                        let mut net = b.build();
+                        net.run(scale.cycles()).accepted_flits_per_node_cycle
+                    };
+                    Row {
+                        algorithm: aname,
+                        pattern: pname,
+                        peak,
+                    }
+                }
+            })
+            .collect(),
+    );
     Results { rows }
 }
 

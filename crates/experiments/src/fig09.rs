@@ -5,7 +5,7 @@
 //! Expected shape: classic saturating latency curves; longer messages
 //! saturate at a similar flit load but with higher base latency.
 
-use crate::harness::{measure, MeasuredPoint, Scale};
+use crate::harness::{measure, sweep, MeasuredPoint, Scale};
 use crate::table::{fmt_f, fmt_p, Table};
 use cr_core::{ProtocolKind, RoutingKind};
 use cr_traffic::{LengthDistribution, TrafficPattern};
@@ -48,22 +48,36 @@ pub struct Results {
     pub rows: Vec<Row>,
 }
 
-/// Runs the experiment.
+/// Runs the experiment. Sweep points execute in parallel (see
+/// [`crate::harness::sweep`]); results are identical under any job
+/// count.
 pub fn run(cfg: &Config) -> Results {
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for &len in &cfg.message_lengths {
         for load in cfg.scale.loads() {
-            let mut b = cfg.scale.builder();
-            b.routing(RoutingKind::Adaptive { vcs: 1 })
-                .protocol(ProtocolKind::Cr)
-                .traffic(TrafficPattern::Uniform, LengthDistribution::Fixed(len), load)
-                .seed(cfg.seed);
-            rows.push(Row {
-                message_len: len,
-                point: measure(&mut b, cfg.scale),
-            });
+            points.push((len, load));
         }
     }
+    let scale = cfg.scale;
+    let seed = cfg.seed;
+    let rows = sweep(
+        points
+            .into_iter()
+            .map(|(len, load)| {
+                move || {
+                    let mut b = scale.builder();
+                    b.routing(RoutingKind::Adaptive { vcs: 1 })
+                        .protocol(ProtocolKind::Cr)
+                        .traffic(TrafficPattern::Uniform, LengthDistribution::Fixed(len), load)
+                        .seed(seed);
+                    Row {
+                        message_len: len,
+                        point: measure(&mut b, scale),
+                    }
+                }
+            })
+            .collect(),
+    );
     Results { rows }
 }
 

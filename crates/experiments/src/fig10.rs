@@ -6,7 +6,7 @@
 //! deadlock recovery; a broad middle range works well — which is why
 //! the paper can use the simple `message length x VCs` rule.
 
-use crate::harness::{measure, MeasuredPoint, Scale};
+use crate::harness::{measure, sweep, MeasuredPoint, Scale};
 use crate::table::{fmt_f, Table};
 use cr_core::{ProtocolKind, RoutingKind};
 use cr_traffic::{LengthDistribution, TrafficPattern};
@@ -55,27 +55,41 @@ pub struct Results {
     pub rows: Vec<Row>,
 }
 
-/// Runs the experiment.
+/// Runs the experiment (points in parallel; results identical under
+/// any job count).
 pub fn run(cfg: &Config) -> Results {
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for &timeout in &cfg.timeouts {
         for &load in &cfg.loads {
-            let mut b = cfg.scale.builder();
-            b.routing(RoutingKind::Adaptive { vcs: 1 })
-                .protocol(ProtocolKind::Cr)
-                .timeout(timeout)
-                .traffic(
-                    TrafficPattern::Uniform,
-                    LengthDistribution::Fixed(cfg.message_len),
-                    load,
-                )
-                .seed(cfg.seed);
-            rows.push(Row {
-                timeout,
-                point: measure(&mut b, cfg.scale),
-            });
+            points.push((timeout, load));
         }
     }
+    let scale = cfg.scale;
+    let message_len = cfg.message_len;
+    let seed = cfg.seed;
+    let rows = sweep(
+        points
+            .into_iter()
+            .map(|(timeout, load)| {
+                move || {
+                    let mut b = scale.builder();
+                    b.routing(RoutingKind::Adaptive { vcs: 1 })
+                        .protocol(ProtocolKind::Cr)
+                        .timeout(timeout)
+                        .traffic(
+                            TrafficPattern::Uniform,
+                            LengthDistribution::Fixed(message_len),
+                            load,
+                        )
+                        .seed(seed);
+                    Row {
+                        timeout,
+                        point: measure(&mut b, scale),
+                    }
+                }
+            })
+            .collect(),
+    );
     Results { rows }
 }
 

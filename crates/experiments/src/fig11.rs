@@ -10,7 +10,7 @@
 //! time at light load); the dynamic scheme tracks the best static
 //! choice across the whole load range.
 
-use crate::harness::{measure, MeasuredPoint, Scale};
+use crate::harness::{measure, sweep, MeasuredPoint, Scale};
 use crate::table::{fmt_f, Table};
 use cr_core::{ProtocolKind, RetransmitScheme, RoutingKind};
 use cr_traffic::{LengthDistribution, TrafficPattern};
@@ -74,26 +74,40 @@ pub fn run(cfg: &Config) -> Results {
         },
     ));
 
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for (name, scheme) in &schemes {
         for load in cfg.scale.loads() {
-            let mut b = cfg.scale.builder();
-            b.routing(RoutingKind::Adaptive { vcs: 1 })
-                .protocol(ProtocolKind::Cr)
-                .timeout(cfg.timeout)
-                .retransmit(*scheme)
-                .traffic(
-                    TrafficPattern::Uniform,
-                    LengthDistribution::Fixed(cfg.message_len),
-                    load,
-                )
-                .seed(cfg.seed);
-            rows.push(Row {
-                scheme: name.clone(),
-                point: measure(&mut b, cfg.scale),
-            });
+            points.push((name.clone(), *scheme, load));
         }
     }
+    let scale = cfg.scale;
+    let timeout = cfg.timeout;
+    let message_len = cfg.message_len;
+    let seed = cfg.seed;
+    let rows = sweep(
+        points
+            .into_iter()
+            .map(|(name, scheme, load)| {
+                move || {
+                    let mut b = scale.builder();
+                    b.routing(RoutingKind::Adaptive { vcs: 1 })
+                        .protocol(ProtocolKind::Cr)
+                        .timeout(timeout)
+                        .retransmit(scheme)
+                        .traffic(
+                            TrafficPattern::Uniform,
+                            LengthDistribution::Fixed(message_len),
+                            load,
+                        )
+                        .seed(seed);
+                    Row {
+                        scheme: name,
+                        point: measure(&mut b, scale),
+                    }
+                }
+            })
+            .collect(),
+    );
     Results { rows }
 }
 

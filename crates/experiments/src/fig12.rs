@@ -8,7 +8,7 @@
 //! committed and draining); the source-based scheme never kills a
 //! committed worm.
 
-use crate::harness::{MeasuredPoint, Scale};
+use crate::harness::{sweep, MeasuredPoint, Scale};
 use crate::table::{fmt_f, Table};
 use cr_core::{ProtocolKind, RoutingKind};
 use cr_sim::NodeId;
@@ -81,34 +81,44 @@ pub fn run(cfg: &Config) -> Results {
             },
         ),
     ];
-    let mut rows = Vec::new();
+    let mut points = Vec::new();
     for (pattern_name, pattern) in patterns {
         for scheme in ["source", "path-wide"] {
             for &load in &loads {
-                let mut b = cfg.scale.builder();
-                b.routing(RoutingKind::Adaptive { vcs: 1 })
-                    .protocol(ProtocolKind::Cr)
-                    .timeout(cfg.timeout)
-                    .traffic(
-                        pattern,
-                        LengthDistribution::Fixed(cfg.message_len),
-                        load,
-                    )
-                    .seed(cfg.seed);
-                if scheme == "path-wide" {
-                    b.path_wide(cfg.timeout);
-                }
-                let mut net = b.build();
-                let report = net.run(cfg.scale.cycles());
-                rows.push(Row {
-                    pattern: pattern_name,
-                    scheme,
-                    point: MeasuredPoint::from_report(&report),
-                    committed_kills: report.counters.kills_committed,
-                });
+                points.push((pattern_name, pattern, scheme, load));
             }
         }
     }
+    let scale = cfg.scale;
+    let timeout = cfg.timeout;
+    let message_len = cfg.message_len;
+    let seed = cfg.seed;
+    let rows = sweep(
+        points
+            .into_iter()
+            .map(|(pattern_name, pattern, scheme, load)| {
+                move || {
+                    let mut b = scale.builder();
+                    b.routing(RoutingKind::Adaptive { vcs: 1 })
+                        .protocol(ProtocolKind::Cr)
+                        .timeout(timeout)
+                        .traffic(pattern, LengthDistribution::Fixed(message_len), load)
+                        .seed(seed);
+                    if scheme == "path-wide" {
+                        b.path_wide(timeout);
+                    }
+                    let mut net = b.build();
+                    let report = net.run(scale.cycles());
+                    Row {
+                        pattern: pattern_name,
+                        scheme,
+                        point: MeasuredPoint::from_report(&report),
+                        committed_kills: report.counters.kills_committed,
+                    }
+                }
+            })
+            .collect(),
+    );
     Results { rows }
 }
 

@@ -10,7 +10,7 @@
 //! For CR, `timeout = message length x number of virtual channels`
 //! (the Fig. 14 caption's rule, applied automatically by the builder).
 
-use crate::harness::{measure, MeasuredPoint, Scale};
+use crate::harness::{measure, sweep, MeasuredPoint, Scale};
 use crate::table::{fmt_f, Table};
 use cr_core::{ProtocolKind, RoutingKind};
 use cr_traffic::{LengthDistribution, TrafficPattern};
@@ -65,45 +65,49 @@ pub struct Results {
 /// Runs the experiment. Both networks get two virtual channels: CR
 /// uses them as adaptive lanes, DOR as its two dateline classes.
 pub fn run(cfg: &Config) -> Results {
-    let mut rows = Vec::new();
+    let mut points: Vec<(&'static str, usize, f64)> = Vec::new();
     for &depth in &cfg.cr_depths {
         for load in cfg.scale.loads() {
-            let mut b = cfg.scale.builder();
-            b.routing(RoutingKind::Adaptive { vcs: 2 })
-                .protocol(ProtocolKind::Cr)
-                .buffer_depth(depth)
-                .traffic(
-                    TrafficPattern::Uniform,
-                    LengthDistribution::Fixed(cfg.message_len),
-                    load,
-                )
-                .seed(cfg.seed);
-            rows.push(Row {
-                network: "CR",
-                depth,
-                point: measure(&mut b, cfg.scale),
-            });
+            points.push(("CR", depth, load));
         }
     }
     for &depth in &cfg.dor_depths {
         for load in cfg.scale.loads() {
-            let mut b = cfg.scale.builder();
-            b.routing(RoutingKind::Dor { lanes: 1 }) // 2 VCs total on a torus
-                .protocol(ProtocolKind::Baseline)
-                .buffer_depth(depth)
-                .traffic(
-                    TrafficPattern::Uniform,
-                    LengthDistribution::Fixed(cfg.message_len),
-                    load,
-                )
-                .seed(cfg.seed);
-            rows.push(Row {
-                network: "DOR",
-                depth,
-                point: measure(&mut b, cfg.scale),
-            });
+            points.push(("DOR", depth, load));
         }
     }
+    let scale = cfg.scale;
+    let message_len = cfg.message_len;
+    let seed = cfg.seed;
+    let rows = sweep(
+        points
+            .into_iter()
+            .map(|(network, depth, load)| {
+                move || {
+                    let mut b = scale.builder();
+                    if network == "CR" {
+                        b.routing(RoutingKind::Adaptive { vcs: 2 })
+                            .protocol(ProtocolKind::Cr);
+                    } else {
+                        b.routing(RoutingKind::Dor { lanes: 1 }) // 2 VCs total on a torus
+                            .protocol(ProtocolKind::Baseline);
+                    }
+                    b.buffer_depth(depth)
+                        .traffic(
+                            TrafficPattern::Uniform,
+                            LengthDistribution::Fixed(message_len),
+                            load,
+                        )
+                        .seed(seed);
+                    Row {
+                        network,
+                        depth,
+                        point: measure(&mut b, scale),
+                    }
+                }
+            })
+            .collect(),
+    );
     Results { rows }
 }
 

@@ -8,7 +8,7 @@
 //! fixing the buffer depth of each virtual channel at two flits"
 //! (depth is pure padding overhead for CR).
 
-use crate::harness::{measure, MeasuredPoint, Scale};
+use crate::harness::{measure, sweep, MeasuredPoint, Scale};
 use crate::table::{fmt_f, Table};
 use cr_core::{ProtocolKind, RoutingKind};
 use cr_traffic::{LengthDistribution, TrafficPattern};
@@ -69,7 +69,7 @@ pub struct Results {
 /// Panics if a VC count is odd (DOR on a torus needs two dateline
 /// classes) or does not divide the DOR buffer budget.
 pub fn run(cfg: &Config) -> Results {
-    let mut rows = Vec::new();
+    let mut points: Vec<(&'static str, usize, usize, f64)> = Vec::new();
     for &vcs in &cfg.vc_counts {
         assert!(vcs >= 2 && vcs % 2 == 0, "DOR on a torus needs even VCs");
         assert_eq!(
@@ -78,44 +78,45 @@ pub fn run(cfg: &Config) -> Results {
             "buffer budget must split evenly"
         );
         for load in cfg.scale.loads() {
-            // CR: fixed 2-flit buffers per VC.
-            let mut b = cfg.scale.builder();
-            b.routing(RoutingKind::Adaptive { vcs })
-                .protocol(ProtocolKind::Cr)
-                .buffer_depth(2)
-                .traffic(
-                    TrafficPattern::Uniform,
-                    LengthDistribution::Fixed(cfg.message_len),
-                    load,
-                )
-                .seed(cfg.seed);
-            rows.push(Row {
-                network: "CR",
-                vcs,
-                depth: 2,
-                point: measure(&mut b, cfg.scale),
-            });
-
-            // DOR: fixed total buffer split across the VCs.
-            let depth = cfg.dor_total_buffer / vcs;
-            let mut b = cfg.scale.builder();
-            b.routing(RoutingKind::Dor { lanes: vcs / 2 })
-                .protocol(ProtocolKind::Baseline)
-                .buffer_depth(depth)
-                .traffic(
-                    TrafficPattern::Uniform,
-                    LengthDistribution::Fixed(cfg.message_len),
-                    load,
-                )
-                .seed(cfg.seed);
-            rows.push(Row {
-                network: "DOR",
-                vcs,
-                depth,
-                point: measure(&mut b, cfg.scale),
-            });
+            // CR: fixed 2-flit buffers per VC. DOR: fixed total buffer
+            // split across the VCs.
+            points.push(("CR", vcs, 2, load));
+            points.push(("DOR", vcs, cfg.dor_total_buffer / vcs, load));
         }
     }
+    let scale = cfg.scale;
+    let message_len = cfg.message_len;
+    let seed = cfg.seed;
+    let rows = sweep(
+        points
+            .into_iter()
+            .map(|(network, vcs, depth, load)| {
+                move || {
+                    let mut b = scale.builder();
+                    if network == "CR" {
+                        b.routing(RoutingKind::Adaptive { vcs })
+                            .protocol(ProtocolKind::Cr);
+                    } else {
+                        b.routing(RoutingKind::Dor { lanes: vcs / 2 })
+                            .protocol(ProtocolKind::Baseline);
+                    }
+                    b.buffer_depth(depth)
+                        .traffic(
+                            TrafficPattern::Uniform,
+                            LengthDistribution::Fixed(message_len),
+                            load,
+                        )
+                        .seed(seed);
+                    Row {
+                        network,
+                        vcs,
+                        depth,
+                        point: measure(&mut b, scale),
+                    }
+                }
+            })
+            .collect(),
+    );
     Results { rows }
 }
 

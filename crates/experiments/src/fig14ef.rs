@@ -9,7 +9,7 @@
 //! one flit per cycle in and out, which becomes the bottleneck before
 //! the fabric does.
 
-use crate::harness::{saturation_throughput, Scale};
+use crate::harness::{saturation_throughput, sweep, Scale};
 use crate::table::{fmt_f, Table};
 use cr_core::{ProtocolKind, RoutingKind};
 use cr_traffic::TrafficPattern;
@@ -60,43 +60,44 @@ pub struct Results {
 
 /// Runs the experiment.
 pub fn run(cfg: &Config) -> Results {
-    let mut rows = Vec::new();
+    let mut points: Vec<(&'static str, usize)> = Vec::new();
     for &channels in &cfg.channels {
-        let cr = saturation_throughput(
-            |b| {
-                b.routing(RoutingKind::Adaptive { vcs: 2 })
-                    .protocol(ProtocolKind::Cr)
-                    .inject_channels(channels)
-                    .eject_channels(channels);
-            },
-            cfg.scale,
-            TrafficPattern::Uniform,
-            cfg.message_len,
-            cfg.seed,
-        );
-        rows.push(Row {
-            network: "CR",
-            channels,
-            peak_accepted: cr,
-        });
-        let dor = saturation_throughput(
-            |b| {
-                b.routing(RoutingKind::Dor { lanes: 1 })
-                    .protocol(ProtocolKind::Baseline)
-                    .inject_channels(channels)
-                    .eject_channels(channels);
-            },
-            cfg.scale,
-            TrafficPattern::Uniform,
-            cfg.message_len,
-            cfg.seed,
-        );
-        rows.push(Row {
-            network: "DOR",
-            channels,
-            peak_accepted: dor,
-        });
+        points.push(("CR", channels));
+        points.push(("DOR", channels));
     }
+    let scale = cfg.scale;
+    let message_len = cfg.message_len;
+    let seed = cfg.seed;
+    let rows = sweep(
+        points
+            .into_iter()
+            .map(|(network, channels)| {
+                move || {
+                    let peak_accepted = saturation_throughput(
+                        |b| {
+                            if network == "CR" {
+                                b.routing(RoutingKind::Adaptive { vcs: 2 })
+                                    .protocol(ProtocolKind::Cr);
+                            } else {
+                                b.routing(RoutingKind::Dor { lanes: 1 })
+                                    .protocol(ProtocolKind::Baseline);
+                            }
+                            b.inject_channels(channels).eject_channels(channels);
+                        },
+                        scale,
+                        TrafficPattern::Uniform,
+                        message_len,
+                        seed,
+                    );
+                    Row {
+                        network,
+                        channels,
+                        peak_accepted,
+                    }
+                }
+            })
+            .collect(),
+    );
     Results { rows }
 }
 

@@ -8,7 +8,7 @@
 //! corrupt deliveries at every rate — integrity is the invariant, not
 //! a statistic.
 
-use crate::harness::{MeasuredPoint, Scale};
+use crate::harness::{sweep, MeasuredPoint, Scale};
 use crate::table::{fmt_f, Table};
 use cr_core::{ProtocolKind, RoutingKind};
 use cr_faults::FaultModel;
@@ -64,29 +64,40 @@ pub struct Results {
 
 /// Runs the experiment.
 pub fn run(cfg: &Config) -> Results {
-    let mut rows = Vec::new();
-    for &rate in &cfg.fault_rates {
-        let mut faults = FaultModel::new();
-        faults.set_transient_rate(rate);
-        let mut b = cfg.scale.builder();
-        b.routing(RoutingKind::Adaptive { vcs: 1 })
-            .protocol(ProtocolKind::Fcr)
-            .faults(faults)
-            .traffic(
-                TrafficPattern::Uniform,
-                LengthDistribution::Fixed(cfg.message_len),
-                cfg.load,
-            )
-            .seed(cfg.seed);
-        let mut net = b.build();
-        let report = net.run(cfg.scale.cycles());
-        rows.push(Row {
-            fault_rate: rate,
-            point: MeasuredPoint::from_report(&report),
-            fault_kills: report.counters.kills_fault,
-            corrupt_deliveries: report.counters.corrupt_payload_delivered,
-        });
-    }
+    let points: Vec<f64> = cfg.fault_rates.clone();
+    let scale = cfg.scale;
+    let load = cfg.load;
+    let message_len = cfg.message_len;
+    let seed = cfg.seed;
+    let rows = sweep(
+        points
+            .into_iter()
+            .map(|rate| {
+                move || {
+                    let mut faults = FaultModel::new();
+                    faults.set_transient_rate(rate);
+                    let mut b = scale.builder();
+                    b.routing(RoutingKind::Adaptive { vcs: 1 })
+                        .protocol(ProtocolKind::Fcr)
+                        .faults(faults)
+                        .traffic(
+                            TrafficPattern::Uniform,
+                            LengthDistribution::Fixed(message_len),
+                            load,
+                        )
+                        .seed(seed);
+                    let mut net = b.build();
+                    let report = net.run(scale.cycles());
+                    Row {
+                        fault_rate: rate,
+                        point: MeasuredPoint::from_report(&report),
+                        fault_kills: report.counters.kills_fault,
+                        corrupt_deliveries: report.counters.corrupt_payload_delivered,
+                    }
+                }
+            })
+            .collect(),
+    );
     Results { rows }
 }
 

@@ -6,7 +6,7 @@
 //! misroute around fault clusters. Expected shape: every message is
 //! still delivered as links die; latency rises modestly.
 
-use crate::harness::{MeasuredPoint, Scale};
+use crate::harness::{sweep, MeasuredPoint, Scale};
 use crate::table::{fmt_f, Table};
 use cr_core::{ProtocolKind, RoutingKind};
 use cr_faults::FaultModel;
@@ -72,37 +72,53 @@ pub struct Results {
 /// Panics if a fault plan cannot be placed without disconnecting the
 /// network (raise the topology size or lower the counts).
 pub fn run(cfg: &Config) -> Results {
-    let mut rows = Vec::new();
-    for &count in &cfg.dead_links {
-        let mut b = cfg.scale.builder();
-        let mut faults = FaultModel::new();
-        if count > 0 {
-            let topo = cr_topology::KAryNCube::torus(cfg.scale.radix(), 2);
-            faults
-                .kill_random_links_connected(&topo, count, &mut SimRng::from_seed(cfg.seed ^ 0xFA))
-                .expect("fault plan must keep the network connected");
-        }
-        b.routing(RoutingKind::AdaptiveMisroute {
-            vcs: 1,
-            extra_hops: cfg.misroute_budget,
-        })
-        .protocol(ProtocolKind::Fcr)
-        .faults(faults)
-        .traffic(
-            TrafficPattern::Uniform,
-            LengthDistribution::Fixed(cfg.message_len),
-            cfg.load,
-        )
-        .seed(cfg.seed);
-        let mut net = b.build();
-        let report = net.run(cfg.scale.cycles());
-        rows.push(Row {
-            dead_links: count,
-            point: MeasuredPoint::from_report(&report),
-            delivery_ratio: report.delivery_ratio(),
-            corrupt_deliveries: report.counters.corrupt_payload_delivered,
-        });
-    }
+    let points: Vec<usize> = cfg.dead_links.clone();
+    let scale = cfg.scale;
+    let load = cfg.load;
+    let message_len = cfg.message_len;
+    let misroute_budget = cfg.misroute_budget;
+    let seed = cfg.seed;
+    let rows = sweep(
+        points
+            .into_iter()
+            .map(|count| {
+                move || {
+                    let mut b = scale.builder();
+                    let mut faults = FaultModel::new();
+                    if count > 0 {
+                        let topo = cr_topology::KAryNCube::torus(scale.radix(), 2);
+                        faults
+                            .kill_random_links_connected(
+                                &topo,
+                                count,
+                                &mut SimRng::from_seed(seed ^ 0xFA),
+                            )
+                            .expect("fault plan must keep the network connected");
+                    }
+                    b.routing(RoutingKind::AdaptiveMisroute {
+                        vcs: 1,
+                        extra_hops: misroute_budget,
+                    })
+                    .protocol(ProtocolKind::Fcr)
+                    .faults(faults)
+                    .traffic(
+                        TrafficPattern::Uniform,
+                        LengthDistribution::Fixed(message_len),
+                        load,
+                    )
+                    .seed(seed);
+                    let mut net = b.build();
+                    let report = net.run(scale.cycles());
+                    Row {
+                        dead_links: count,
+                        point: MeasuredPoint::from_report(&report),
+                        delivery_ratio: report.delivery_ratio(),
+                        corrupt_deliveries: report.counters.corrupt_payload_delivered,
+                    }
+                }
+            })
+            .collect(),
+    );
     Results { rows }
 }
 

@@ -1,7 +1,86 @@
-//! Shared experiment plumbing: scales, measurement points, presets.
+//! Shared experiment plumbing: scales, measurement points, presets,
+//! and the parallel sweep executor every figure/table module routes
+//! its point-sweeps through.
 
 use cr_core::{NetworkBuilder, SimReport};
 use cr_topology::KAryNCube;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Session-wide job-count override set by `--jobs N` (0 = unset, fall
+/// back to `CR_JOBS` / available parallelism at sweep time).
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the job count for every subsequent [`sweep`] in this process
+/// (the `--jobs N` flag). `set_jobs(1)` restores the serial path.
+pub fn set_jobs(jobs: usize) {
+    JOBS.store(jobs.max(1), Ordering::Relaxed);
+}
+
+/// The job count sweeps currently run with: the [`set_jobs`] override
+/// if present, else `CR_JOBS`, else the machine's available
+/// parallelism.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => cr_sim::pool::effective_jobs(None),
+        n => n,
+    }
+}
+
+/// Runs a batch of independent sweep points across worker threads.
+///
+/// Every experiment module builds its full parameter grid as a vector
+/// of closures (each closure owns its point's seed and configuration)
+/// and hands them here. Results come back in submission order, so a
+/// sweep is **bit-identical under any job count** — parallelism is
+/// pure wall-clock, never a result change. See `DESIGN.md`,
+/// "Parallel sweeps & determinism".
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    jobs: usize,
+}
+
+impl SweepRunner {
+    /// A runner with an explicit job count (tests pin this; `1` is the
+    /// exact serial path, a plain loop on the calling thread).
+    pub fn new(jobs: usize) -> Self {
+        SweepRunner { jobs: jobs.max(1) }
+    }
+
+    /// A runner honouring the session setting ([`set_jobs`] /
+    /// `CR_JOBS` / available parallelism).
+    pub fn current() -> Self {
+        SweepRunner { jobs: jobs() }
+    }
+
+    /// The job count this runner uses.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Executes the points, returning results in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Re-panics (after all workers finish) if a point panicked, with
+    /// its index and message — same observable outcome as the panic a
+    /// serial loop would have raised.
+    pub fn run<T, F>(&self, points: Vec<F>) -> Vec<T>
+    where
+        F: FnOnce() -> T + Send,
+        T: Send,
+    {
+        cr_sim::pool::run(self.jobs, points)
+    }
+}
+
+/// Shorthand: [`SweepRunner::current`]`.run(points)`.
+pub fn sweep<T, F>(points: Vec<F>) -> Vec<T>
+where
+    F: FnOnce() -> T + Send,
+    T: Send,
+{
+    SweepRunner::current().run(points)
+}
 
 /// How big an experiment run should be.
 ///
@@ -63,8 +142,24 @@ impl Scale {
 
     /// Parses `--quick` / `--tiny` command-line flags (default:
     /// `Paper`).
+    ///
+    /// Also applies a `--jobs N` / `--jobs=N` flag (via [`set_jobs`])
+    /// so every experiment binary accepts the sweep-parallelism knob
+    /// without its own flag plumbing; without the flag, sweeps use
+    /// `CR_JOBS` or all available cores. Results are identical either
+    /// way — only wall clock changes.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if a == "--jobs" {
+                if let Some(n) = it.next().and_then(|v| v.parse().ok()) {
+                    set_jobs(n);
+                }
+            } else if let Some(n) = a.strip_prefix("--jobs=").and_then(|v| v.parse().ok()) {
+                set_jobs(n);
+            }
+        }
         if args.iter().any(|a| a == "--tiny") {
             Scale::Tiny
         } else if args.iter().any(|a| a == "--quick") {
@@ -150,6 +245,20 @@ mod tests {
     use super::*;
     use cr_core::{ProtocolKind, RoutingKind};
     use cr_traffic::{LengthDistribution, TrafficPattern};
+
+    #[test]
+    fn sweep_preserves_submission_order() {
+        let points: Vec<_> = (0..17u64).map(|i| move || i * 7).collect();
+        let out = SweepRunner::new(4).run(points);
+        assert_eq!(out, (0..17u64).map(|i| i * 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sweep_runner_jobs_floor_is_one() {
+        assert_eq!(SweepRunner::new(0).jobs(), 1);
+        assert_eq!(SweepRunner::new(6).jobs(), 6);
+        assert!(SweepRunner::current().jobs() >= 1);
+    }
 
     #[test]
     fn scales_are_ordered() {

@@ -61,5 +61,5 @@ pub mod tab_padding;
 pub mod tab_pds;
 pub mod table;
 
-pub use harness::{MeasuredPoint, Scale};
+pub use harness::{sweep, MeasuredPoint, Scale, SweepRunner};
 pub use table::Table;

@@ -7,7 +7,7 @@
 //! pipeline delay) make it worse. This table reports the analytic
 //! expectation and the measured overhead side by side.
 
-use crate::harness::Scale;
+use crate::harness::{sweep, Scale};
 use crate::table::{fmt_f, Table};
 use cr_core::{NetworkConfig, ProtocolKind, RoutingKind};
 use cr_sim::NodeId;
@@ -87,37 +87,50 @@ pub fn analytic_overhead(topo: &dyn Topology, cfg: &NetworkConfig, message_len: 
 
 /// Runs the experiment.
 pub fn run(cfg: &Config) -> Results {
-    let mut rows = Vec::new();
+    let mut points: Vec<(u64, usize)> = Vec::new();
     for &chan in &cfg.channel_latencies {
         for &len in &cfg.message_lengths {
-            let mut b = cfg.scale.builder();
-            b.routing(RoutingKind::Adaptive { vcs: 1 })
-                .protocol(ProtocolKind::Cr)
-                .channel_latency(chan)
-                .traffic(TrafficPattern::Uniform, LengthDistribution::Fixed(len), cfg.load)
-                .seed(cfg.seed);
-            let mut net = b.build();
-            let analytic = {
-                let topo = KAryNCube::torus(cfg.scale.radix(), 2);
-                analytic_overhead(&topo, net.config(), len)
-            };
-            let report = net.run(cfg.scale.cycles());
-            // Measured: pads / payload, matching the analytic
-            // definition (overhead relative to useful flits).
-            let measured = if report.counters.payload_flits_injected == 0 {
-                0.0
-            } else {
-                report.counters.pad_flits_injected as f64
-                    / report.counters.payload_flits_injected as f64
-            };
-            rows.push(Row {
-                message_len: len,
-                channel_latency: chan,
-                analytic_overhead: analytic,
-                measured_overhead: measured,
-            });
+            points.push((chan, len));
         }
     }
+    let scale = cfg.scale;
+    let load = cfg.load;
+    let seed = cfg.seed;
+    let rows = sweep(
+        points
+            .into_iter()
+            .map(|(chan, len)| {
+                move || {
+                    let mut b = scale.builder();
+                    b.routing(RoutingKind::Adaptive { vcs: 1 })
+                        .protocol(ProtocolKind::Cr)
+                        .channel_latency(chan)
+                        .traffic(TrafficPattern::Uniform, LengthDistribution::Fixed(len), load)
+                        .seed(seed);
+                    let mut net = b.build();
+                    let analytic = {
+                        let topo = KAryNCube::torus(scale.radix(), 2);
+                        analytic_overhead(&topo, net.config(), len)
+                    };
+                    let report = net.run(scale.cycles());
+                    // Measured: pads / payload, matching the analytic
+                    // definition (overhead relative to useful flits).
+                    let measured = if report.counters.payload_flits_injected == 0 {
+                        0.0
+                    } else {
+                        report.counters.pad_flits_injected as f64
+                            / report.counters.payload_flits_injected as f64
+                    };
+                    Row {
+                        message_len: len,
+                        channel_latency: chan,
+                        analytic_overhead: analytic,
+                        measured_overhead: measured,
+                    }
+                }
+            })
+            .collect(),
+    );
     Results { rows }
 }
 

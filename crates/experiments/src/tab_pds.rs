@@ -13,7 +13,7 @@
 //! argument for CR's *recovery* (pay on the rare event) over
 //! *avoidance* (pay on every message).
 
-use crate::harness::Scale;
+use crate::harness::{sweep, Scale};
 use crate::table::{fmt_f, Table};
 use cr_core::{ProtocolKind, RoutingKind};
 use cr_traffic::{LengthDistribution, TrafficPattern};
@@ -67,36 +67,44 @@ pub struct Results {
 
 /// Runs the estimate.
 pub fn run(cfg: &Config) -> Results {
-    let mut rows = Vec::new();
     let mut loads = cfg.scale.loads();
     loads.push(0.5); // push toward saturation where PDS spike
-    for load in loads {
-        let mut b = cfg.scale.builder();
-        b.routing(RoutingKind::Duato {
-            adaptive_vcs: cfg.adaptive_vcs,
-        })
-        .protocol(ProtocolKind::Baseline)
-        .traffic(
-            TrafficPattern::Uniform,
-            LengthDistribution::Fixed(cfg.message_len),
-            load,
-        )
-        .seed(cfg.seed);
-        let mut net = b.build();
-        let report = net.run(cfg.scale.cycles());
-        let delivered = report.counters.messages_delivered;
-        rows.push(Row {
-            offered: load,
-            escapes: report.counters.escape_allocations,
-            delivered,
-            pds_per_node_kcycle: report.pds_per_node_kilocycle(),
-            escapes_per_message: if delivered == 0 {
-                0.0
-            } else {
-                report.counters.escape_allocations as f64 / delivered as f64
-            },
-        });
-    }
+    let scale = cfg.scale;
+    let adaptive_vcs = cfg.adaptive_vcs;
+    let message_len = cfg.message_len;
+    let seed = cfg.seed;
+    let rows = sweep(
+        loads
+            .into_iter()
+            .map(|load| {
+                move || {
+                    let mut b = scale.builder();
+                    b.routing(RoutingKind::Duato { adaptive_vcs })
+                        .protocol(ProtocolKind::Baseline)
+                        .traffic(
+                            TrafficPattern::Uniform,
+                            LengthDistribution::Fixed(message_len),
+                            load,
+                        )
+                        .seed(seed);
+                    let mut net = b.build();
+                    let report = net.run(scale.cycles());
+                    let delivered = report.counters.messages_delivered;
+                    Row {
+                        offered: load,
+                        escapes: report.counters.escape_allocations,
+                        delivered,
+                        pds_per_node_kcycle: report.pds_per_node_kilocycle(),
+                        escapes_per_message: if delivered == 0 {
+                            0.0
+                        } else {
+                            report.counters.escape_allocations as f64 / delivered as f64
+                        },
+                    }
+                }
+            })
+            .collect(),
+    );
     Results { rows }
 }
 

@@ -181,6 +181,15 @@ pub struct Router {
     rng: SimRng,
     /// (port, vc) pairs whose orphan drop needs an upstream credit.
     orphan_credits: Vec<(PortId, VcId)>,
+    /// The flattened `(port, vc)` input list, precomputed once: the
+    /// allocation stage's round-robin walks it every cycle, and the
+    /// input geometry never changes after construction.
+    input_list: Vec<(usize, usize)>,
+    /// Routing-candidate scratch, reused across headers and cycles.
+    candidates: Vec<Candidate>,
+    /// Per-cycle "input port already supplied a flit" flags, reused
+    /// across cycles.
+    input_used: Vec<bool>,
 }
 
 impl Router {
@@ -213,6 +222,12 @@ impl Router {
                     .collect()
             })
             .collect();
+        let input_list: Vec<(usize, usize)> = inputs
+            .iter()
+            .enumerate()
+            .flat_map(|(p, vcs)| (0..vcs.len()).map(move |v| (p, v)))
+            .collect();
+        let num_inputs = inputs.len();
         Router {
             node,
             cfg,
@@ -223,6 +238,9 @@ impl Router {
             counters: RouterCounters::default(),
             rng,
             orphan_credits: Vec::new(),
+            input_list,
+            candidates: Vec::new(),
+            input_used: vec![false; num_inputs],
         }
     }
 
@@ -321,20 +339,16 @@ impl Router {
         topo: &dyn Topology,
         is_killed: &dyn Fn(WormId) -> bool,
     ) {
-        let total_inputs: Vec<(usize, usize)> = self
-            .inputs
-            .iter()
-            .enumerate()
-            .flat_map(|(p, vcs)| (0..vcs.len()).map(move |v| (p, v)))
-            .collect();
-        let n = total_inputs.len();
+        let n = self.input_list.len();
         if n == 0 {
             return;
         }
         let offset = (now.as_u64() as usize) % n;
-        let mut candidates = Vec::new();
+        // The candidate scratch has to leave `self` for the loop body
+        // to borrow the router mutably alongside it.
+        let mut candidates = std::mem::take(&mut self.candidates);
         for k in 0..n {
-            let (p, v) = total_inputs[(k + offset) % n];
+            let (p, v) = self.input_list[(k + offset) % n];
             if self.inputs[p][v].route.is_some() {
                 continue;
             }
@@ -409,6 +423,7 @@ impl Router {
                 self.counters.headers_routed += 1;
             }
         }
+        self.candidates = candidates;
     }
 
     /// Switch-traversal stage: each output port and each ejection port
@@ -425,7 +440,21 @@ impl Router {
     /// into receivers and returns credits upstream.
     pub fn traverse(&mut self, now: Cycle, is_killed: &dyn Fn(WormId) -> bool) -> Vec<Traversal> {
         let mut out = Vec::new();
-        let mut input_used = vec![false; self.inputs.len()];
+        self.traverse_into(now, is_killed, &mut out);
+        out
+    }
+
+    /// [`Router::traverse`] into a caller-owned buffer (appended, not
+    /// cleared), so the per-cycle network loop can reuse one allocation
+    /// across all routers and cycles.
+    pub fn traverse_into(
+        &mut self,
+        now: Cycle,
+        is_killed: &dyn Fn(WormId) -> bool,
+        out: &mut Vec<Traversal>,
+    ) {
+        let input_used = &mut self.input_used;
+        input_used.fill(false);
 
         // Neighbor outputs: one flit per physical port per cycle,
         // round-robin over that port's VCs.
@@ -529,7 +558,6 @@ impl Router {
                 target: RouteTarget::Eject { port: e },
             });
         }
-        out
     }
 
     /// Adds one credit to output `(port, vc)` — the downstream input
@@ -628,6 +656,19 @@ impl Router {
     /// alternative kill scheme the paper compares against.
     pub fn stalled_worms(&self, now: Cycle, threshold: u64) -> Vec<(PortId, VcId, WormId)> {
         let mut out = Vec::new();
+        self.stalled_worms_into(now, threshold, &mut out);
+        out
+    }
+
+    /// [`Router::stalled_worms`] into a caller-owned buffer (appended,
+    /// not cleared) — the path-wide detector polls every router every
+    /// cycle and reuses one list.
+    pub fn stalled_worms_into(
+        &self,
+        now: Cycle,
+        threshold: u64,
+        out: &mut Vec<(PortId, VcId, WormId)>,
+    ) {
         for (p, vcs) in self.inputs.iter().enumerate() {
             for (v, ivc) in vcs.iter().enumerate() {
                 if ivc.buf.is_empty() {
@@ -642,7 +683,6 @@ impl Router {
                 }
             }
         }
-        out
     }
 
     /// Drains the pending upstream-credit notices for orphan drops

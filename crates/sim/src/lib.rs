@@ -15,6 +15,9 @@
 //! * [`json`] — a minimal JSON value/writer/parser for result dumps.
 //! * [`check`] — a seeded property-testing mini-framework with
 //!   shrinking, used by the workspace's `tests/properties.rs` suites.
+//! * [`pool`] — a work-stealing task pool on scoped threads, used by
+//!   the experiment harness to run sweep points in parallel while
+//!   keeping results in submission order (bit-identical to serial).
 //!
 //! The crate depends on nothing outside `std` — it is the bottom of a
 //! fully hermetic, offline-buildable workspace.
@@ -47,6 +50,7 @@ pub mod cycle;
 pub mod fifo;
 pub mod ids;
 pub mod json;
+pub mod pool;
 pub mod rng;
 
 pub use cycle::Cycle;

@@ -8,4 +8,31 @@ cd "$(dirname "$0")/.."
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 
+# Parallel sweeps must be bit-identical to serial: diff the full
+# --tiny experiment battery between --jobs 1 and the default
+# (all-cores) executor.
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+./target/release/all --tiny --jobs 1 > "$tmpdir/tiny_serial.txt"
+./target/release/all --tiny > "$tmpdir/tiny_parallel.txt"
+if ! diff -q "$tmpdir/tiny_serial.txt" "$tmpdir/tiny_parallel.txt" > /dev/null; then
+    echo "verify: FAIL — parallel --tiny output differs from serial" >&2
+    diff "$tmpdir/tiny_serial.txt" "$tmpdir/tiny_parallel.txt" | head -40 >&2
+    exit 1
+fi
+echo "verify: parallel --tiny output identical to serial"
+
+# Bench smoke: regenerate BENCH_sweep.json cheaply and check its
+# schema (group/meta/benchmarks with the documented fields).
+CR_BENCH_SAMPLES=3 cargo bench --offline -p cr-bench --bench sweep > /dev/null
+sweep_json="target/bench/BENCH_sweep.json"
+for field in '"group"' '"meta"' '"elapsed_ns"' '"jobs"' '"benchmarks"' \
+             '"median_ns"' '"sim_cycles"' '"cycles_per_sec"'; do
+    if ! grep -q "$field" "$sweep_json"; then
+        echo "verify: FAIL — $sweep_json missing $field" >&2
+        exit 1
+    fi
+done
+echo "verify: $sweep_json regenerated and schema-checked"
+
 echo "verify: OK"
