@@ -144,6 +144,15 @@ impl NetworkBuilder {
         self
     }
 
+    /// Enables structured event tracing with a ring buffer of
+    /// `capacity` events (see `cr_sim::trace`). Off by default; when
+    /// off, the trace layer costs one branch per would-be emit and
+    /// reports are byte-identical.
+    pub fn trace(&mut self, capacity: usize) -> &mut Self {
+        self.cfg.trace_capacity = Some(capacity);
+        self
+    }
+
     /// Applies research ablation switches (see [`crate::Ablations`]).
     pub fn ablations(&mut self, ablations: crate::Ablations) -> &mut Self {
         self.cfg.ablations = ablations;

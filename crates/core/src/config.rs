@@ -183,6 +183,9 @@ pub struct NetworkConfig {
     pub seed: u64,
     /// Research ablation switches (all off for the faithful protocol).
     pub ablations: Ablations,
+    /// Event-trace ring-buffer capacity; `None` (the default) leaves
+    /// tracing disabled — the zero-overhead path.
+    pub trace_capacity: Option<usize>,
 }
 
 impl Default for NetworkConfig {
@@ -202,6 +205,7 @@ impl Default for NetworkConfig {
             warmup: 1_000,
             seed: 1,
             ablations: Ablations::default(),
+            trace_capacity: None,
         }
     }
 }

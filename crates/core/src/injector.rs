@@ -74,6 +74,15 @@ pub struct InjectorOutcome {
     pub finished_injection: bool,
     /// A retransmission began this cycle.
     pub restarted: bool,
+    /// A worm attempt began this cycle (fresh pickup or a retry
+    /// leaving backoff), with its destination: the trace layer's
+    /// `Inject` event.
+    pub started: Option<(WormId, NodeId)>,
+    /// The worm crossed its commitment point (`I_min` flits accepted)
+    /// this cycle: the trace layer's `Commit` event. Only reported
+    /// under protocols with commitment semantics (CR/FCR, commitment
+    /// ablation off).
+    pub committed: Option<WormId>,
 }
 
 #[derive(Debug)]
@@ -200,6 +209,7 @@ impl Injector {
                 c.next = 0;
                 c.stall = 0;
                 out.restarted = true;
+                out.started = Some((c.worm, c.msg.dst));
             }
         }
 
@@ -210,8 +220,10 @@ impl Injector {
             };
             msg.attempts += 1;
             let pad = self.pad_for(&msg);
+            let worm = WormId::new(msg.id, msg.attempts - 1);
+            out.started = Some((worm, msg.dst));
             self.current = Some(Current {
-                worm: WormId::new(msg.id, msg.attempts - 1),
+                worm,
                 total_len: msg.payload_len + pad,
                 next: 0,
                 stall: 0,
@@ -244,6 +256,12 @@ impl Injector {
             out.injected_pad = flit.seq >= c.msg.payload_len;
             c.next += 1;
             c.stall = 0;
+            if c.next as usize == c.msg.i_min
+                && self.protocol.kills()
+                && !self.ablations.ignore_commitment
+            {
+                out.committed = Some(c.worm);
+            }
             if c.next == c.total_len {
                 out.finished_injection = true;
                 let msg = self.current.take().expect("current set").msg;
@@ -263,7 +281,15 @@ impl Injector {
     /// Called by the network after it tears down `worm` at this
     /// injector's request (or on its behalf, for path-wide kills):
     /// schedules the retransmission.
-    pub fn on_killed(&mut self, now: Cycle, worm: WormId) {
+    ///
+    /// Returns `(retry_attempt, resume_at)` when a retransmission was
+    /// scheduled — the zero-based attempt the retry will carry and
+    /// the earliest cycle it may start injecting (`now` for a
+    /// re-queued vulnerable message, the end of the backoff gap for
+    /// the current worm) — or `None` for stale/duplicate
+    /// notifications. The network turns this into a
+    /// `RetransmitScheduled` trace event.
+    pub fn on_killed(&mut self, now: Cycle, worm: WormId) -> Option<(u32, Cycle)> {
         // The kill may concern the current worm...
         if let Some(c) = &mut self.current {
             if c.worm == worm {
@@ -271,9 +297,11 @@ impl Injector {
                     c.msg.attempts += 1;
                     let gap = self.retransmit.gap(c.msg.attempts - 1, &mut self.rng);
                     c.worm = WormId::new(c.msg.id, c.msg.attempts - 1);
-                    c.resume_at = Some(now + gap);
+                    let resume = now + gap;
+                    c.resume_at = Some(resume);
+                    return Some((c.msg.attempts - 1, resume));
                 }
-                return;
+                return None;
             }
         }
         // ...or a fully injected (vulnerable) one: re-queue it at the
@@ -284,13 +312,15 @@ impl Injector {
                 // `step` increments `attempts` when it picks the
                 // message back up, so the retry automatically gets the
                 // next worm id.
+                let retry_attempt = msg.attempts;
                 self.queue.push_front(msg);
-            } else {
-                // Stale notification for an old attempt; the message
-                // has already moved on.
-                self.vulnerable.insert(msg.id, msg);
+                return Some((retry_attempt, now));
             }
+            // Stale notification for an old attempt; the message
+            // has already moved on.
+            self.vulnerable.insert(msg.id, msg);
         }
+        None
     }
 
     /// Returns `true` if `worm` is known to be *committed*: its

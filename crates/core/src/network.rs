@@ -24,12 +24,14 @@ use crate::config::NetworkConfig;
 use crate::injector::{Injector, PendingMessage};
 use crate::killmap::KilledMap;
 use crate::receiver::Receiver;
-use crate::report::{NetCounters, SimReport};
+use crate::report::{NetCounters, SimReport, TraceSummary};
 use cr_faults::FaultModel;
 use cr_metrics::{LatencyRecorder, ThroughputMeter};
 use cr_router::{
-    Flit, PortKind, RouteTarget, Router, RouterConfig, RoutingFunction, Traversal, WormId,
+    Flit, LinkStallStreak, LinkStats, PortKind, RouteTarget, Router, RouterConfig,
+    RoutingFunction, Traversal, WormId,
 };
+use cr_sim::trace::{Event, KillCause, TraceSink, TraceStats};
 use cr_sim::{Cycle, MessageId, NodeId, PortId, SimRng, VcId};
 use cr_topology::Topology;
 use cr_traffic::TrafficSource;
@@ -107,6 +109,12 @@ pub struct Network {
     traversal_scratch: Vec<Traversal>,
     /// Per-cycle path-wide stall list, reused across cycles.
     stall_scratch: Vec<(PortId, VcId, WormId)>,
+    /// Per-cycle finished-stall-streak list, reused across cycles
+    /// (only touched while tracing).
+    streak_scratch: Vec<LinkStallStreak>,
+    /// Structured protocol-event sink ([`cr_sim::trace`]); the
+    /// disabled variant unless the builder enables tracing.
+    trace: TraceSink,
 
     now: Cycle,
     record_deliveries: bool,
@@ -236,6 +244,18 @@ impl Network {
         let registry_lifetime =
             4 * (topo.diameter() + misroute) as u64 + cfg.channel_latency + 64;
 
+        let trace = match cfg.trace_capacity {
+            Some(capacity) => TraceSink::ring(capacity),
+            None => TraceSink::Disabled,
+        };
+        if trace.enabled() {
+            // Finished link-stall streaks become `LinkStall` events;
+            // with tracing off they are discarded at the router.
+            for r in routers.iter_mut() {
+                r.set_record_streaks(true);
+            }
+        }
+
         let warmup = Cycle::new(cfg.warmup);
         Network {
             latency: LatencyRecorder::new(warmup),
@@ -266,6 +286,8 @@ impl Network {
             next_message_id: 0,
             traversal_scratch: Vec::new(),
             stall_scratch: Vec::new(),
+            streak_scratch: Vec::new(),
+            trace,
             now: Cycle::ZERO,
             record_deliveries: false,
             delivery_log: Vec::new(),
@@ -334,6 +356,40 @@ impl Network {
     /// [`Network::set_record_deliveries`] was enabled).
     pub fn take_delivery_log(&mut self) -> Vec<crate::receiver::DeliveredMessage> {
         std::mem::take(&mut self.delivery_log)
+    }
+
+    /// Whether structured event tracing is on (see
+    /// [`NetworkBuilder::trace`](crate::NetworkBuilder::trace)).
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.enabled()
+    }
+
+    /// Emission statistics of the trace sink (zeros when disabled).
+    pub fn trace_stats(&self) -> TraceStats {
+        self.trace.stats()
+    }
+
+    /// Drains the buffered trace events, oldest first (empty unless
+    /// tracing is enabled).
+    pub fn take_trace_events(&mut self) -> Vec<Event> {
+        self.trace.drain()
+    }
+
+    /// Per-link utilization and stall-attribution counters, keyed by
+    /// the topology's [`cr_sim::LinkId`]. Always maintained, tracing
+    /// on or off: entry `i` describes the link whose source router
+    /// output port feeds it.
+    pub fn link_stall_stats(&self) -> Vec<(cr_sim::LinkId, LinkStats)> {
+        let mut out = vec![(cr_sim::LinkId::new(0), LinkStats::default()); self.links.len()];
+        for (n, ports) in self.out_link.iter().enumerate() {
+            let stats = self.routers[n].link_stats();
+            for (p, li) in ports.iter().enumerate() {
+                if let (Some(li), Some(s)) = (li, stats.get(p)) {
+                    out[*li] = (self.link_ids[*li], *s);
+                }
+            }
+        }
+        out
     }
 
     /// Flits currently buffered in routers or in flight on links.
@@ -503,6 +559,21 @@ impl Network {
             counters.duplicates_dropped += rx.counters().duplicates_dropped;
             counters.partials_discarded += rx.counters().partials_discarded;
         }
+        let stats = self.trace.stats();
+        let mut trace = TraceSummary {
+            enabled: self.trace.enabled(),
+            events_emitted: stats.emitted,
+            events_dropped: stats.dropped,
+            links: self.links.len() as u64,
+            ..TraceSummary::default()
+        };
+        for (_, s) in self.link_stall_stats() {
+            trace.stall_busy_cycles += s.stall_busy;
+            trace.stall_dead_link_cycles += s.stall_dead_link;
+            trace.stall_backpressure_cycles += s.stall_backpressure;
+            trace.max_link_stall_cycles = trace.max_link_stall_cycles.max(s.stall_total());
+            trace.link_flits_forwarded += s.flits_forwarded;
+        }
         let (util_mean, util_max) = self.channel_utilization();
         SimReport {
             channel_utilization_mean: util_mean,
@@ -520,6 +591,7 @@ impl Network {
             ),
             latency_histogram: self.latency.histogram().clone(),
             counters,
+            trace,
             deadlocked: self.deadlocked,
             flits_in_flight: self.flits_in_flight(),
         }
@@ -584,6 +656,13 @@ impl Network {
                         if self.faults.detects_corruption(&mut self.fault_rng) {
                             self.counters.flits_dropped_killed += 1;
                             self.credit_into(dst_node, dst_port, vc);
+                            let worm = flit.worm;
+                            self.trace.emit(|| Event::CorruptionDetected {
+                                at: now,
+                                link: link_id,
+                                message: worm.message,
+                                attempt: worm.attempt,
+                            });
                             self.kill_worm_at(
                                 now,
                                 dst_node,
@@ -738,11 +817,29 @@ impl Network {
                 if out.restarted {
                     self.counters.retransmissions += 1;
                 }
+                if let Some((worm, dst)) = out.started {
+                    self.trace.emit(|| Event::Inject {
+                        at: now,
+                        src: NodeId::new(n as u32),
+                        dst,
+                        message: worm.message,
+                        attempt: worm.attempt,
+                    });
+                }
+                if let Some(worm) = out.committed {
+                    self.trace.emit(|| Event::Commit {
+                        at: now,
+                        src: NodeId::new(n as u32),
+                        message: worm.message,
+                        attempt: worm.attempt,
+                    });
+                }
                 if let Some(worm) = out.kill {
                     self.counters.kills_source_timeout += 1;
                     let port = self.routers[n].inject_port(c);
                     self.kill_worm_at(now, n, port, VcId::new(0), worm, KillCause::SourceTimeout);
-                    self.injectors[n][c].on_killed(now, worm);
+                    let retx = self.injectors[n][c].on_killed(now, worm);
+                    self.emit_retransmit(now, worm.message, retx);
                 }
             }
         }
@@ -806,6 +903,14 @@ impl Network {
                             self.latency.record(m.created, now);
                             self.throughput
                                 .record_flits(now, m.payload_len as usize);
+                            self.trace.emit(|| Event::Deliver {
+                                at: now,
+                                src: m.src,
+                                dst: m.dst,
+                                message: m.id,
+                                attempts: m.attempts,
+                                latency: now.saturating_since(m.created),
+                            });
                             if let Some((sn, sc)) = self.source_of(m.id) {
                                 self.worm_sources[m.id.as_u64() as usize] = SOURCE_GONE;
                                 self.injectors[sn][sc].on_delivered(m.id);
@@ -819,6 +924,29 @@ impl Network {
             }
         }
         self.traversal_scratch = traversals;
+
+        // Finished link-stall streaks become LinkStall events. The
+        // routers only record streaks while tracing (the per-cause
+        // counters are always on), so this drain is trace-gated too.
+        if self.trace.enabled() {
+            let mut streaks = std::mem::take(&mut self.streak_scratch);
+            for n in 0..self.routers.len() {
+                streaks.clear();
+                self.routers[n].drain_streaks_into(&mut streaks);
+                for s in &streaks {
+                    if let Some(li) = self.out_link[n][s.port.index()] {
+                        let link = self.link_ids[li];
+                        self.trace.emit(|| Event::LinkStall {
+                            at: s.since,
+                            link,
+                            cause: s.cause,
+                            cycles: s.cycles,
+                        });
+                    }
+                }
+            }
+            self.streak_scratch = streaks;
+        }
     }
 
     fn phase_bookkeeping(&mut self, now: Cycle) {
@@ -856,6 +984,13 @@ impl Network {
         if cause == KillCause::Fault {
             self.counters.kills_fault += 1;
         }
+        self.trace.emit(|| Event::Kill {
+            at: now,
+            node: NodeId::new(node as u32),
+            message: worm.message,
+            attempt: worm.attempt,
+            cause,
+        });
         // Tear down from the kill point toward the destination.
         let released = self.flush_and_credit(node, port, vc, worm);
         match released {
@@ -892,7 +1027,8 @@ impl Network {
     fn continue_backward(&mut self, now: Cycle, t: Token) {
         if self.routers[t.node].port_kind(t.port) == PortKind::Inject {
             let channel = t.port.index() - self.topo.num_ports(NodeId::new(t.node as u32));
-            self.injectors[t.node][channel].on_killed(now, t.worm);
+            let retx = self.injectors[t.node][channel].on_killed(now, t.worm);
+            self.emit_retransmit(now, t.worm.message, retx);
             return;
         }
         let up = self.in_upstream[t.node][t.port.index()];
@@ -920,7 +1056,22 @@ impl Network {
 
     fn notify_source(&mut self, now: Cycle, worm: WormId) {
         if let Some((sn, sc)) = self.source_of(worm.message) {
-            self.injectors[sn][sc].on_killed(now, worm);
+            let retx = self.injectors[sn][sc].on_killed(now, worm);
+            self.emit_retransmit(now, worm.message, retx);
+        }
+    }
+
+    /// Emits a `RetransmitScheduled` event for an
+    /// [`Injector::on_killed`] return value (no-op for `None`: stale
+    /// and duplicate kill notifications schedule nothing).
+    fn emit_retransmit(&mut self, now: Cycle, message: MessageId, retx: Option<(u32, Cycle)>) {
+        if let Some((attempt, resume_at)) = retx {
+            self.trace.emit(|| Event::RetransmitScheduled {
+                at: now,
+                message,
+                attempt,
+                resume_at,
+            });
         }
     }
 
@@ -968,11 +1119,4 @@ pub(crate) fn debug_worm(worm: WormId, msg: impl Fn() -> String) {
             eprintln!("{}", msg());
         }
     }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum KillCause {
-    SourceTimeout,
-    Fault,
-    PathWide,
 }

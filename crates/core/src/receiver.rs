@@ -329,6 +329,86 @@ mod tests {
     }
 
     #[test]
+    fn pruned_partial_then_retransmit_delivers_exactly_once() {
+        // Attempt 0 is killed mid-flight: head and one body flit make
+        // it to the ejection side, the tail never does, and (the kill
+        // token having died with the worm) nobody calls discard(). The
+        // periodic prune reaps the corpse; the retransmitted attempt 1
+        // then delivers exactly once, and nothing double-counts.
+        let mut rx = Receiver::new(NodeId::new(0));
+        let a0 = flits(1, 0, 4, 0, 0);
+        assert!(rx.on_flit(Cycle::new(10), a0[0]).is_empty());
+        assert!(rx.on_flit(Cycle::new(11), a0[1]).is_empty());
+        assert_eq!(rx.assembling_len(), 1);
+
+        rx.prune(Cycle::new(500));
+        assert_eq!(rx.assembling_len(), 0);
+        assert_eq!(rx.counters().assemblies_pruned, 1);
+
+        let mut got = Vec::new();
+        for f in &flits(1, 1, 4, 0, 0) {
+            got.extend(rx.on_flit(Cycle::new(600), *f));
+        }
+        assert_eq!(got.len(), 1, "retransmit delivers exactly once");
+        assert_eq!(got[0].id, MessageId::new(1));
+        assert_eq!(got[0].attempts, 2);
+        assert_eq!(rx.counters().duplicates_dropped, 0);
+        assert_eq!(rx.counters().partials_discarded, 0);
+        assert_eq!(rx.assembling_len(), 0);
+    }
+
+    #[test]
+    fn discarded_partial_then_retransmit_delivers_exactly_once() {
+        // Same story, but the kill token *does* reach the ejection
+        // side: discard() reaps the partial, then the retry delivers.
+        let mut rx = Receiver::new(NodeId::new(0));
+        let a0 = flits(3, 0, 5, 0, 0);
+        assert!(rx.on_flit(Cycle::new(1), a0[0]).is_empty());
+        assert!(rx.on_flit(Cycle::new(2), a0[1]).is_empty());
+        rx.discard(worm_id(3, 0));
+        assert_eq!(rx.counters().partials_discarded, 1);
+
+        let mut got = Vec::new();
+        for f in &flits(3, 1, 5, 0, 0) {
+            got.extend(rx.on_flit(Cycle::new(40), *f));
+        }
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].attempts, 2);
+
+        // A straggling duplicate of the whole message (e.g. the kill
+        // raced a fully-delivered worm) is sequenced out.
+        let mut got = Vec::new();
+        for f in &flits(3, 2, 5, 0, 0) {
+            got.extend(rx.on_flit(Cycle::new(80), *f));
+        }
+        assert!(got.is_empty());
+        assert_eq!(rx.counters().duplicates_dropped, 1);
+    }
+
+    #[test]
+    fn prune_spares_live_assemblies_while_reaping_stale_ones() {
+        // Two in-progress worms; only the stale one is reaped.
+        let mut rx = Receiver::new(NodeId::new(0));
+        let stale = flits(7, 0, 4, 0, 0);
+        let live = flits(8, 0, 4, 0, 1);
+        let _ = rx.on_flit(Cycle::new(10), stale[0]);
+        let _ = rx.on_flit(Cycle::new(490), live[0]);
+        rx.prune(Cycle::new(400));
+        assert_eq!(rx.assembling_len(), 1);
+        assert_eq!(rx.counters().assemblies_pruned, 1);
+        // The survivor still completes normally.
+        let mut got = Vec::new();
+        for f in &live[1..] {
+            got.extend(rx.on_flit(Cycle::new(495), *f));
+        }
+        // seq 1 waits for seq 0 (killed message 7 will eventually
+        // retransmit), so it is held, not dropped.
+        assert!(got.is_empty());
+        assert_eq!(rx.reorder_len(), 1);
+        assert_eq!(rx.counters().out_of_order_arrivals, 1);
+    }
+
+    #[test]
     #[should_panic]
     fn misdelivered_flit_panics() {
         let mut rx = Receiver::new(NodeId::new(9));

@@ -51,7 +51,10 @@ impl RetransmitScheme {
         match *self {
             RetransmitScheme::StaticGap { gap } => gap,
             RetransmitScheme::ExponentialBackoff { slot, ceiling } => {
-                let exp = attempt.min(ceiling);
+                // Clamp to 63: `1u64 << 64` would overflow when a
+                // caller configures `ceiling >= 64` (or leaves it
+                // above an extreme attempt count).
+                let exp = attempt.min(ceiling).min(63);
                 let window = 1u64 << exp;
                 let slots = rng.pick_index(window as usize).unwrap_or(0) as u64 + 1;
                 slots * slot
@@ -111,5 +114,28 @@ mod tests {
     #[should_panic]
     fn attempt_zero_rejected() {
         RetransmitScheme::default().gap(0, &mut SimRng::from_seed(0));
+    }
+
+    #[test]
+    fn huge_ceiling_and_attempt_do_not_overflow() {
+        // Regression: `1u64 << exp` paniced (in debug) or wrapped once
+        // `min(attempt, ceiling) >= 64`. The exponent is clamped to 63
+        // now, so the window saturates instead.
+        let s = RetransmitScheme::ExponentialBackoff {
+            slot: 1,
+            ceiling: u32::MAX,
+        };
+        let mut rng = SimRng::from_seed(1);
+        for attempt in [63, 64, 65, 1000, u32::MAX] {
+            let g = s.gap(attempt, &mut rng);
+            assert!(g >= 1, "attempt {attempt}");
+        }
+        // The boundary itself: exponent exactly 63 is the largest
+        // representable window.
+        let s = RetransmitScheme::ExponentialBackoff {
+            slot: 1,
+            ceiling: 63,
+        };
+        assert!(s.gap(64, &mut rng) >= 1);
     }
 }

@@ -478,3 +478,59 @@ fn fault_plans_compose_deterministically() {
     };
     assert_eq!(run(f1), run(f2));
 }
+
+/// A faulty, retransmission-heavy sweep exercises the receiver's
+/// defensive bookkeeping: kills race deliveries, so receivers see
+/// duplicate completions and discarded partials — and every one of
+/// them must be absorbed without breaking exactly-once delivery.
+#[test]
+fn receiver_bookkeeping_under_faulty_retransmission_sweep() {
+    let mut faults = FaultModel::new();
+    faults.set_transient_rate(3e-3);
+    let mut net = NetworkBuilder::new(KAryNCube::torus(4, 2))
+        .routing(RoutingKind::Adaptive { vcs: 1 })
+        .protocol(ProtocolKind::Fcr)
+        .faults(faults)
+        .timeout(8) // tight: source timeouts fire alongside fault kills
+        .warmup(0)
+        .seed(21)
+        .traffic(TrafficPattern::Uniform, LengthDistribution::Fixed(16), 0.35)
+        .build();
+    net.set_record_deliveries(true);
+    let report = net.run(6_000);
+    assert!(!report.deadlocked);
+    assert!(report.counters.retransmissions > 0, "retries must happen");
+    assert!(report.counters.kills_fault > 0, "fault kills must happen");
+
+    // The defensive paths actually fired...
+    assert!(
+        report.counters.partials_discarded > 0,
+        "kills reaching ejection must discard partial assemblies"
+    );
+
+    // ...and delivery stayed exactly-once per message id, in order.
+    let log = net.take_delivery_log();
+    let mut seen = std::collections::HashSet::new();
+    for m in &log {
+        assert!(seen.insert(m.id), "message {:?} delivered twice", m.id);
+    }
+    assert_eq!(seen.len() as u64, report.counters.messages_delivered);
+    assert_eq!(report.counters.corrupt_payload_delivered, 0);
+
+    // Receiver counters aggregate into the report consistently.
+    let n = net.topology().num_nodes();
+    let mut dup = 0;
+    let mut partial = 0;
+    let mut pruned = 0;
+    for i in 0..n {
+        let c = *net.receiver(NodeId::new(i as u32)).counters();
+        dup += c.duplicates_dropped;
+        partial += c.partials_discarded;
+        pruned += c.assemblies_pruned;
+    }
+    assert_eq!(dup, report.counters.duplicates_dropped);
+    assert_eq!(partial, report.counters.partials_discarded);
+    // Prune is a backstop: nothing in this run may need it, but the
+    // counter must at least be coherent (and never double-reaped).
+    assert!(pruned <= report.counters.partials_discarded + report.counters.messages_generated);
+}

@@ -1,0 +1,87 @@
+//! Validates a JSON-lines event trace produced by `--trace <path>`:
+//! every line must parse as a JSON object with a known `type` and an
+//! `at` cycle, and the dump must contain at least one kill, one
+//! scheduled retransmit and one delivery (the protocol lifecycle a
+//! faulty/stressed run is expected to exhibit).
+//!
+//! Usage: `trace_check <path> [required_type ...]`
+//!
+//! Extra arguments add required event types beyond the default three.
+//! Exits non-zero (with a message on stderr) on any violation.
+
+use cr_sim::Json;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const KNOWN_TYPES: [&str; 7] = [
+    "inject",
+    "commit",
+    "kill",
+    "retransmit_scheduled",
+    "deliver",
+    "corruption_detected",
+    "link_stall",
+];
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace_check <trace.jsonl> [required_type ...]");
+        return ExitCode::FAILURE;
+    };
+    let mut required: Vec<String> = args.collect();
+    if required.is_empty() {
+        required = vec![
+            "kill".to_string(),
+            "retransmit_scheduled".to_string(),
+            "deliver".to_string(),
+        ];
+    }
+
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut counts: BTreeMap<String, u64> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let v = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("trace_check: line {}: bad JSON: {e:?}", lineno + 1);
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(kind) = v.get("type").and_then(Json::as_str) else {
+            eprintln!("trace_check: line {}: missing \"type\"", lineno + 1);
+            return ExitCode::FAILURE;
+        };
+        if !KNOWN_TYPES.contains(&kind) {
+            eprintln!("trace_check: line {}: unknown type {kind:?}", lineno + 1);
+            return ExitCode::FAILURE;
+        }
+        if v.get("at").and_then(Json::as_u64).is_none() {
+            eprintln!("trace_check: line {}: missing \"at\" cycle", lineno + 1);
+            return ExitCode::FAILURE;
+        }
+        *counts.entry(kind.to_string()).or_insert(0) += 1;
+    }
+
+    let total: u64 = counts.values().sum();
+    let summary: Vec<String> = counts.iter().map(|(k, n)| format!("{k}={n}")).collect();
+    println!("trace_check: {total} events ({})", summary.join(" "));
+
+    for req in &required {
+        if counts.get(req).copied().unwrap_or(0) == 0 {
+            eprintln!("trace_check: no {req:?} events in {path}");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -8,7 +8,7 @@
 //! | `no-commit-check` | sources kill *any* stalled worm | still correct, but committed (draining) worms get killed too: more kills, more retransmissions, lower goodput |
 //! | `instant-teardown` | kill tokens walk the whole path in one cycle | an idealized infinitely-fast kill wire: bounds how much the 1-hop-per-cycle teardown latency costs |
 
-use crate::harness::{sweep, MeasuredPoint, Scale};
+use crate::harness::{run_report, sweep, MeasuredPoint, Scale};
 use crate::table::{fmt_f, Table};
 use cr_core::{Ablations, ProtocolKind, RoutingKind};
 use cr_traffic::{LengthDistribution, TrafficPattern};
@@ -109,8 +109,7 @@ pub fn run(cfg: &Config) -> Results {
                         .deadlock_threshold((scale.cycles() / 5).max(500))
                         .traffic(pattern, LengthDistribution::Fixed(message_len), load)
                         .seed(seed);
-                    let mut net = b.build();
-                    let report = net.run(scale.cycles());
+                    let report = run_report(&mut b, scale);
                     Row {
                         variant: name,
                         point: MeasuredPoint::from_report(&report),

@@ -11,7 +11,7 @@
 //! bimodal-length workload (short messages mixed with long ones) is
 //! included, mirroring reference \[32\]'s setting.
 
-use crate::harness::{sweep, Scale};
+use crate::harness::{run_report, sweep, Scale};
 use crate::table::{fmt_f, fmt_p, Table};
 use cr_core::{ProtocolKind, RoutingKind};
 use cr_traffic::{LengthDistribution, TrafficPattern};
@@ -110,8 +110,7 @@ pub fn run(cfg: &Config) -> Results {
                         .protocol(protocol)
                         .traffic(TrafficPattern::Uniform, lengths, load)
                         .seed(seed);
-                    let mut net = b.build();
-                    let report = net.run(scale.cycles());
+                    let report = run_report(&mut b, scale);
                     Row {
                         network,
                         workload: wname,

@@ -18,7 +18,7 @@
 //! consistent with the authors' own PAR evaluation (reference \[31\]),
 //! which found adaptivity can lose on uniform loads.
 
-use crate::harness::{sweep, Scale};
+use crate::harness::{run_report, sweep, Scale};
 use crate::table::{fmt_f, Table};
 use cr_core::{NetworkBuilder, ProtocolKind, RoutingKind};
 use cr_topology::KAryNCube;
@@ -107,8 +107,7 @@ pub fn run(cfg: &Config) -> Results {
                             .warmup(scale.warmup())
                             .traffic(pattern, LengthDistribution::Fixed(message_len), 0.95)
                             .seed(seed);
-                        let mut net = b.build();
-                        net.run(scale.cycles()).accepted_flits_per_node_cycle
+                        run_report(&mut b, scale).accepted_flits_per_node_cycle
                     };
                     Row {
                         algorithm: aname,

@@ -8,7 +8,7 @@
 //! committed and draining); the source-based scheme never kills a
 //! committed worm.
 
-use crate::harness::{sweep, MeasuredPoint, Scale};
+use crate::harness::{run_report, sweep, MeasuredPoint, Scale};
 use crate::table::{fmt_f, Table};
 use cr_core::{ProtocolKind, RoutingKind};
 use cr_sim::NodeId;
@@ -107,8 +107,7 @@ pub fn run(cfg: &Config) -> Results {
                     if scheme == "path-wide" {
                         b.path_wide(timeout);
                     }
-                    let mut net = b.build();
-                    let report = net.run(scale.cycles());
+                    let report = run_report(&mut b, scale);
                     Row {
                         pattern: pattern_name,
                         scheme,

@@ -8,7 +8,7 @@
 //! corrupt deliveries at every rate — integrity is the invariant, not
 //! a statistic.
 
-use crate::harness::{sweep, MeasuredPoint, Scale};
+use crate::harness::{run_report, sweep, MeasuredPoint, Scale};
 use crate::table::{fmt_f, Table};
 use cr_core::{ProtocolKind, RoutingKind};
 use cr_faults::FaultModel;
@@ -86,8 +86,7 @@ pub fn run(cfg: &Config) -> Results {
                             load,
                         )
                         .seed(seed);
-                    let mut net = b.build();
-                    let report = net.run(scale.cycles());
+                    let report = run_report(&mut b, scale);
                     Row {
                         fault_rate: rate,
                         point: MeasuredPoint::from_report(&report),

@@ -6,7 +6,7 @@
 //! misroute around fault clusters. Expected shape: every message is
 //! still delivered as links die; latency rises modestly.
 
-use crate::harness::{sweep, MeasuredPoint, Scale};
+use crate::harness::{run_report, sweep, MeasuredPoint, Scale};
 use crate::table::{fmt_f, Table};
 use cr_core::{ProtocolKind, RoutingKind};
 use cr_faults::FaultModel;
@@ -107,8 +107,7 @@ pub fn run(cfg: &Config) -> Results {
                         load,
                     )
                     .seed(seed);
-                    let mut net = b.build();
-                    let report = net.run(scale.cycles());
+                    let report = run_report(&mut b, scale);
                     Row {
                         dead_links: count,
                         point: MeasuredPoint::from_report(&report),

@@ -4,11 +4,64 @@
 
 use cr_core::{NetworkBuilder, SimReport};
 use cr_topology::KAryNCube;
+use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Session-wide job-count override set by `--jobs N` (0 = unset, fall
 /// back to `CR_JOBS` / available parallelism at sweep time).
 static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Session-wide event-trace dump path set by `--trace <path>` (`None`
+/// = tracing off, the default). Guarded by a mutex because sweeps run
+/// [`measure`] points on worker threads.
+static TRACE_PATH: Mutex<Option<std::path::PathBuf>> = Mutex::new(None);
+
+/// Ring capacity [`measure`] uses per traced run: large enough to hold
+/// a full tiny/quick run's events without drops.
+const TRACE_RING_CAPACITY: usize = 1 << 16;
+
+/// Points every subsequent [`measure`] at a JSON-lines trace dump (the
+/// `--trace <path>` flag). The file is created (truncated) here; each
+/// traced run appends its events as one JSON object per line. `None`
+/// turns tracing back off.
+///
+/// # Panics
+///
+/// Panics if the file cannot be created.
+pub fn set_trace_path(path: Option<std::path::PathBuf>) {
+    if let Some(p) = &path {
+        std::fs::File::create(p).expect("--trace path must be creatable");
+    }
+    *TRACE_PATH.lock().expect("trace path lock") = path;
+}
+
+/// Whether a `--trace` dump path is active.
+pub fn trace_active() -> bool {
+    TRACE_PATH.lock().expect("trace path lock").is_some()
+}
+
+/// Appends one run's drained events to the active trace file, one
+/// JSON object per line (no-op when tracing is off). Runs append
+/// atomically under the lock, so concurrent sweep points never
+/// interleave mid-run.
+fn dump_trace(net: &mut cr_core::Network) {
+    let events = net.take_trace_events();
+    let guard = TRACE_PATH.lock().expect("trace path lock");
+    let Some(path) = guard.as_ref() else {
+        return;
+    };
+    let mut f = std::fs::OpenOptions::new()
+        .append(true)
+        .open(path)
+        .expect("trace file vanished mid-run");
+    let mut buf = String::new();
+    for ev in &events {
+        buf.push_str(&ev.to_json().to_string());
+        buf.push('\n');
+    }
+    f.write_all(buf.as_bytes()).expect("trace write failed");
+}
 
 /// Pins the job count for every subsequent [`sweep`] in this process
 /// (the `--jobs N` flag). `set_jobs(1)` restores the serial path.
@@ -158,6 +211,12 @@ impl Scale {
                 }
             } else if let Some(n) = a.strip_prefix("--jobs=").and_then(|v| v.parse().ok()) {
                 set_jobs(n);
+            } else if a == "--trace" {
+                if let Some(p) = it.next() {
+                    set_trace_path(Some(p.into()));
+                }
+            } else if let Some(p) = a.strip_prefix("--trace=") {
+                set_trace_path(Some(p.into()));
             }
         }
         if args.iter().any(|a| a == "--tiny") {
@@ -212,10 +271,42 @@ impl MeasuredPoint {
 
 /// Runs a configured builder at one offered load and distils the
 /// result.
+///
+/// Under an active `--trace <path>` ([`set_trace_path`]) the run is
+/// built with event tracing on and its events are appended to the
+/// dump file. Tracing is record-only, so the measured point is
+/// identical either way.
 pub fn measure(builder: &mut NetworkBuilder, scale: Scale) -> MeasuredPoint {
-    let mut net = builder.build();
-    let report = net.run(scale.cycles());
-    MeasuredPoint::from_report(&report)
+    MeasuredPoint::from_report(&run_report(builder, scale))
+}
+
+/// Builds the network, honouring the process-wide `--trace` sink: when
+/// tracing is active the network gets a bounded event ring sized
+/// [`TRACE_RING_CAPACITY`]. Pair with [`finish_run`].
+pub(crate) fn build_traced(builder: &mut NetworkBuilder) -> cr_core::Network {
+    if trace_active() {
+        builder.trace(TRACE_RING_CAPACITY);
+    }
+    builder.build()
+}
+
+/// Runs a [`build_traced`] network for `cycles` and, when tracing is
+/// active, appends its event ring to the trace file.
+pub(crate) fn finish_run(net: &mut cr_core::Network, cycles: u64) -> cr_core::SimReport {
+    let report = net.run(cycles);
+    if trace_active() {
+        dump_trace(net);
+    }
+    report
+}
+
+/// Builds and runs a network at `scale`, returning the full report.
+/// Every experiment module routes its simulations through here (or
+/// through [`measure`], which wraps it) so that a runner's `--trace`
+/// flag captures every sweep point it executes.
+pub fn run_report(builder: &mut NetworkBuilder, scale: Scale) -> cr_core::SimReport {
+    let mut net = build_traced(builder);
+    finish_run(&mut net, scale.cycles())
 }
 
 /// Measures peak accepted throughput: offer a saturating load and
@@ -235,9 +326,7 @@ pub fn saturation_throughput(
         0.95,
     )
     .seed(seed);
-    let mut net = b.build();
-    let report = net.run(scale.cycles());
-    report.accepted_flits_per_node_cycle
+    run_report(&mut b, scale).accepted_flits_per_node_cycle
 }
 
 #[cfg(test)]

@@ -61,5 +61,5 @@ pub mod tab_padding;
 pub mod tab_pds;
 pub mod table;
 
-pub use harness::{sweep, MeasuredPoint, Scale, SweepRunner};
+pub use harness::{run_report, set_trace_path, sweep, trace_active, MeasuredPoint, Scale, SweepRunner};
 pub use table::Table;

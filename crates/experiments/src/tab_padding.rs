@@ -7,7 +7,7 @@
 //! pipeline delay) make it worse. This table reports the analytic
 //! expectation and the measured overhead side by side.
 
-use crate::harness::{sweep, Scale};
+use crate::harness::{build_traced, finish_run, sweep, Scale};
 use crate::table::{fmt_f, Table};
 use cr_core::{NetworkConfig, ProtocolKind, RoutingKind};
 use cr_sim::NodeId;
@@ -107,12 +107,12 @@ pub fn run(cfg: &Config) -> Results {
                         .channel_latency(chan)
                         .traffic(TrafficPattern::Uniform, LengthDistribution::Fixed(len), load)
                         .seed(seed);
-                    let mut net = b.build();
+                    let mut net = build_traced(&mut b);
                     let analytic = {
                         let topo = KAryNCube::torus(scale.radix(), 2);
                         analytic_overhead(&topo, net.config(), len)
                     };
-                    let report = net.run(scale.cycles());
+                    let report = finish_run(&mut net, scale.cycles());
                     // Measured: pads / payload, matching the analytic
                     // definition (overhead relative to useful flits).
                     let measured = if report.counters.payload_flits_injected == 0 {

@@ -13,7 +13,7 @@
 //! argument for CR's *recovery* (pay on the rare event) over
 //! *avoidance* (pay on every message).
 
-use crate::harness::{sweep, Scale};
+use crate::harness::{run_report, sweep, Scale};
 use crate::table::{fmt_f, Table};
 use cr_core::{ProtocolKind, RoutingKind};
 use cr_traffic::{LengthDistribution, TrafficPattern};
@@ -87,8 +87,7 @@ pub fn run(cfg: &Config) -> Results {
                             load,
                         )
                         .seed(seed);
-                    let mut net = b.build();
-                    let report = net.run(scale.cycles());
+                    let report = run_report(&mut b, scale);
                     let delivered = report.counters.messages_delivered;
                     Row {
                         offered: load,

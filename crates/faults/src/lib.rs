@@ -147,13 +147,19 @@ impl FaultModel {
     /// connected (so every message still has some path).
     ///
     /// Candidate links are drawn uniformly; a candidate whose removal
-    /// would disconnect the network is rejected and redrawn.
+    /// would disconnect the network is rejected and redrawn. Only
+    /// those *connectivity* rejections count against the attempt
+    /// budget — redrawing a link that is already dead is free (on a
+    /// mostly-dead topology almost every draw lands on a dead link,
+    /// and charging for them used to abort plans that were easily
+    /// satisfiable).
     ///
     /// # Errors
     ///
-    /// Returns [`FaultPlanError::TooManyFaults`] if no assignment of
-    /// `count` dead links keeps the network connected after a bounded
-    /// number of attempts.
+    /// Returns [`FaultPlanError::TooManyFaults`] if fewer than `count`
+    /// live links exist, if `100 * count` candidates were rejected for
+    /// disconnecting the network, or if the (much larger) total-redraw
+    /// bound is hit before the plan completes.
     pub fn kill_random_links_connected(
         &mut self,
         topology: &dyn Topology,
@@ -161,13 +167,24 @@ impl FaultModel {
         rng: &mut SimRng,
     ) -> Result<Vec<LinkId>, FaultPlanError> {
         let all = topology.links();
+        let alive = all
+            .iter()
+            .filter(|l| !self.dead_links.contains(&l.id))
+            .count();
+        if count > alive {
+            return Err(FaultPlanError::TooManyFaults { requested: count });
+        }
         let mut killed = Vec::with_capacity(count);
-        let mut attempts = 0usize;
-        let max_attempts = 100 * count.max(1);
+        let mut rejections = 0usize;
+        let max_rejections = 100 * count.max(1);
+        // Backstop on total draws so a pathological pool (nearly all
+        // dead, survivors uncuttable) still terminates. Generous
+        // enough that it never fires on satisfiable plans.
+        let mut draws = 0usize;
+        let max_draws = max_rejections + 1_000 * all.len().max(1);
         while killed.len() < count {
-            attempts += 1;
-            if attempts > max_attempts {
-                // Roll back everything we added in this call.
+            draws += 1;
+            if draws > max_draws {
                 for l in &killed {
                     self.dead_links.remove(l);
                 }
@@ -182,6 +199,14 @@ impl FaultModel {
                 killed.push(candidate);
             } else {
                 self.dead_links.remove(&candidate);
+                rejections += 1;
+                if rejections > max_rejections {
+                    // Roll back everything we added in this call.
+                    for l in &killed {
+                        self.dead_links.remove(l);
+                    }
+                    return Err(FaultPlanError::TooManyFaults { requested: count });
+                }
             }
         }
         Ok(killed)
@@ -360,6 +385,63 @@ mod tests {
         assert_eq!(err, FaultPlanError::TooManyFaults { requested: 1 });
         // Roll-back happened.
         assert_eq!(f.num_dead_links(), 0);
+    }
+
+    #[test]
+    fn random_kill_succeeds_on_mostly_dead_topology() {
+        // Regression: redraws of already-dead links used to count
+        // against the 100-per-kill attempt budget, so a pool that is
+        // ~98% dead exhausted it before ever sampling a live link.
+        //
+        // 100-node complete digraph (9900 links); everything except
+        // the bidirectional ring is pre-killed, so 200 links (2%) are
+        // alive and any single one of them is safe to kill (the
+        // opposite direction keeps the ring strongly connected). With
+        // seed 4 the first live-link draw is draw #114 — past the old
+        // budget of 100 for a one-kill plan, comfortably inside the
+        // new (rejection-only) accounting.
+        use cr_topology::GraphTopology;
+        let n = 100usize;
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let g = GraphTopology::from_edges(n, &edges).unwrap();
+        let ring: HashSet<(usize, usize)> = (0..n)
+            .flat_map(|i| [(i, (i + 1) % n), ((i + 1) % n, i)])
+            .collect();
+        let mut f = FaultModel::new();
+        for l in g.links() {
+            if !ring.contains(&(l.src.index(), l.dst.index())) {
+                f.kill_link(l.id);
+            }
+        }
+        let pre_dead = f.num_dead_links();
+        assert_eq!(pre_dead, 9900 - 200);
+
+        let mut rng = SimRng::from_seed(4);
+        let killed = f.kill_random_links_connected(&g, 1, &mut rng).unwrap();
+        assert_eq!(killed.len(), 1);
+        assert_eq!(f.num_dead_links(), pre_dead + 1);
+        assert!(strongly_connected(&g, &f.dead_links.clone()));
+    }
+
+    #[test]
+    fn random_kill_errors_fast_when_too_few_links_survive() {
+        // Requesting more kills than there are live links fails
+        // immediately instead of spinning through redraws.
+        let t = KAryNCube::torus(4, 2);
+        let mut f = FaultModel::new();
+        for l in t.links() {
+            f.kill_link(l.id);
+        }
+        let mut rng = SimRng::from_seed(2);
+        let err = f.kill_random_links_connected(&t, 1, &mut rng).unwrap_err();
+        assert_eq!(err, FaultPlanError::TooManyFaults { requested: 1 });
     }
 
     #[test]

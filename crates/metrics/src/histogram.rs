@@ -92,7 +92,11 @@ impl Histogram {
         if self.count == 0 {
             return 0;
         }
-        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        // Clamp to `count`: past 2^53 the `count as f64` conversion
+        // can round *up*, and then `q = 1.0` yields a target larger
+        // than any cumulative sum — misreporting a fully-binned
+        // histogram's maximum as overflow (`u64::MAX`).
+        let target = ((q * self.count as f64).ceil().max(1.0) as u64).min(self.count);
         let mut cum = 0u64;
         for (i, &b) in self.bins.iter().enumerate() {
             cum += b;
@@ -193,6 +197,41 @@ mod tests {
     fn empty_percentile_is_zero() {
         let h = Histogram::new(2, 1);
         assert_eq!(h.percentile(0.9), 0);
+    }
+
+    #[test]
+    fn full_quantile_never_lands_past_the_data() {
+        // q = 1.0 must return the last populated bin's edge, not
+        // overflow, whenever nothing actually overflowed.
+        let mut h = Histogram::new(3, 10);
+        for v in [0, 11, 29] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(1.0), 30);
+    }
+
+    #[test]
+    fn huge_counts_survive_f64_rounding() {
+        // Regression: with count > 2^53, `count as f64` rounds up
+        // (2^53 + 3 -> 2^53 + 4), so the q = 1.0 target exceeded every
+        // cumulative sum and percentile() returned u64::MAX despite an
+        // empty overflow bin. Build the histogram via JSON — 2^53
+        // record() calls would take hours.
+        let count = (1u64 << 53) + 3;
+        let text = format!(
+            r#"{{"bin_width": 10, "bins": [1, {}], "overflow": 0, "count": {count}}}"#,
+            count - 1
+        );
+        let h = Histogram::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(h.percentile(1.0), 20, "clamped target stays in-bins");
+        assert_eq!(h.percentile(0.5), 20);
+        // With genuine overflow the full quantile still reports it.
+        let text = format!(
+            r#"{{"bin_width": 10, "bins": [1, 1], "overflow": {}, "count": {count}}}"#,
+            count - 2
+        );
+        let h = Histogram::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(h.percentile(1.0), u64::MAX);
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod routing;
 
 pub use flit::{Flit, FlitKind, WormId};
 pub use router::{
-    PortKind, Router, RouterConfig, RouterCounters, RouteTarget, Traversal,
+    LinkStallStreak, LinkStats, PortKind, Router, RouterConfig, RouterCounters, RouteTarget,
+    Traversal,
 };
 pub use routing::{DimensionOrder, DuatoProtocol, MinimalAdaptive, PlanarAdaptive, RouteCtx, RoutingFunction};

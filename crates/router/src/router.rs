@@ -19,6 +19,7 @@
 
 use crate::flit::{Flit, WormId};
 use crate::routing::{Candidate, RouteCtx, RoutingFunction};
+use cr_sim::trace::StallCause;
 use cr_sim::{Cycle, Fifo, NodeId, PortId, SimRng, VcId};
 use cr_topology::Topology;
 
@@ -107,6 +108,61 @@ pub struct RouterCounters {
     pub unroutable_headers: u64,
 }
 
+/// Per-output-port utilization and stall-attribution counters.
+///
+/// Maintained by [`Router::traverse_into`] for every neighbor output
+/// port, every cycle, whether or not tracing is on (plain counter
+/// adds on the already-slow blocked path). A port is *stalled* on a
+/// cycle when some allocated output VC had a flit ready to forward
+/// but none crossed; the cause attribution follows
+/// [`StallCause`]: a dead output link wins, then zero credits
+/// (backpressure), then input-port contention or a frozen killed
+/// owner (busy channel).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Flits forwarded out this port.
+    pub flits_forwarded: u64,
+    /// Stalled cycles attributed to crossbar-input contention or a
+    /// frozen (killed) channel owner.
+    pub stall_busy: u64,
+    /// Stalled cycles on a port whose outgoing link is dead.
+    pub stall_dead_link: u64,
+    /// Stalled cycles attributed to exhausted downstream credits.
+    pub stall_backpressure: u64,
+}
+
+impl LinkStats {
+    /// Total stalled cycles of any cause.
+    pub fn stall_total(&self) -> u64 {
+        self.stall_busy + self.stall_dead_link + self.stall_backpressure
+    }
+
+    /// The stalled-cycle count attributed to `cause`.
+    pub fn stall_for(&self, cause: StallCause) -> u64 {
+        match cause {
+            StallCause::BusyChannel => self.stall_busy,
+            StallCause::DeadLink => self.stall_dead_link,
+            StallCause::Backpressure => self.stall_backpressure,
+        }
+    }
+}
+
+/// A finished run of consecutive stalled cycles on one output port,
+/// with a constant attributed cause. Produced only while streak
+/// recording is on (see [`Router::set_record_streaks`]); the network
+/// converts these to `LinkStall` trace events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkStallStreak {
+    /// The stalled output port.
+    pub port: PortId,
+    /// The attributed cause (constant across the streak).
+    pub cause: StallCause,
+    /// Cycle the streak started.
+    pub since: Cycle,
+    /// Streak length in cycles.
+    pub cycles: u64,
+}
+
 /// One flit leaving the router this cycle.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Traversal {
@@ -190,6 +246,16 @@ pub struct Router {
     /// Per-cycle "input port already supplied a flit" flags, reused
     /// across cycles.
     input_used: Vec<bool>,
+    /// Per-neighbor-output-port utilization/stall counters.
+    link_stats: Vec<LinkStats>,
+    /// Open stall streak per neighbor output port: `(cause, start,
+    /// length)`.
+    stall_open: Vec<Option<(StallCause, Cycle, u64)>>,
+    /// Finished streaks awaiting [`Router::drain_streaks_into`]; only
+    /// populated while `record_streaks` is on.
+    finished_streaks: Vec<LinkStallStreak>,
+    /// Whether finished stall streaks are kept for the trace layer.
+    record_streaks: bool,
 }
 
 impl Router {
@@ -241,6 +307,10 @@ impl Router {
             input_list,
             candidates: Vec::new(),
             input_used: vec![false; num_inputs],
+            link_stats: vec![LinkStats::default(); cfg.num_node_ports],
+            stall_open: vec![None; cfg.num_node_ports],
+            finished_streaks: Vec::new(),
+            record_streaks: false,
         }
     }
 
@@ -457,16 +527,34 @@ impl Router {
         input_used.fill(false);
 
         // Neighbor outputs: one flit per physical port per cycle,
-        // round-robin over that port's VCs.
+        // round-robin over that port's VCs. Alongside the forwarding
+        // decision, attribute the port's cycle for the link-stats
+        // layer: `sent` when a flit crossed, else the first
+        // ready-but-blocked VC's stall cause (if any).
         for port in 0..self.cfg.num_node_ports {
             let nvcs = self.cfg.num_vcs;
             let start = (now.as_u64() as usize) % nvcs;
+            let mut sent = false;
+            let mut blocked: Option<StallCause> = None;
             for k in 0..nvcs {
                 let vc = (start + k) % nvcs;
                 let Some((ip, iv)) = self.outputs[port][vc].allocated_to else {
                     continue;
                 };
                 if input_used[ip.index()] || self.outputs[port][vc].credits == 0 {
+                    if blocked.is_none() {
+                        let ivc = &self.inputs[ip.index()][iv.index()];
+                        let ready = ivc
+                            .worm
+                            .is_some_and(|w| ivc.buf.front().is_some_and(|f| f.worm == w));
+                        if ready {
+                            blocked = Some(if self.outputs[port][vc].credits == 0 {
+                                StallCause::Backpressure
+                            } else {
+                                StallCause::BusyChannel
+                            });
+                        }
+                    }
                     continue;
                 }
                 let ivc = &mut self.inputs[ip.index()][iv.index()];
@@ -480,6 +568,9 @@ impl Router {
                 // registry — it waits here until the token clears the
                 // stale route.)
                 if is_killed(owner) {
+                    if blocked.is_none() && !ivc.buf.is_empty() {
+                        blocked = Some(StallCause::BusyChannel);
+                    }
                     continue;
                 }
                 let Some(front) = ivc.buf.front() else {
@@ -512,8 +603,20 @@ impl Router {
                         vc: VcId::new(vc as u8),
                     },
                 });
+                sent = true;
                 break; // this physical port is used this cycle
             }
+            Self::note_link_cycle(
+                &mut self.link_stats[port],
+                &mut self.stall_open[port],
+                &mut self.finished_streaks,
+                self.record_streaks,
+                self.dead_out[port],
+                PortId::new(port as u16),
+                now,
+                sent,
+                blocked,
+            );
         }
 
         // Ejection ports: one flit each per cycle.
@@ -558,6 +661,93 @@ impl Router {
                 target: RouteTarget::Eject { port: e },
             });
         }
+    }
+
+    /// Folds one cycle's outcome for a neighbor output port into its
+    /// [`LinkStats`] and streak state. Associated function (not a
+    /// method) so `traverse_into` can call it under its outstanding
+    /// disjoint field borrows.
+    #[allow(clippy::too_many_arguments)]
+    fn note_link_cycle(
+        stats: &mut LinkStats,
+        open: &mut Option<(StallCause, Cycle, u64)>,
+        finished: &mut Vec<LinkStallStreak>,
+        record: bool,
+        dead: bool,
+        port: PortId,
+        now: Cycle,
+        sent: bool,
+        blocked: Option<StallCause>,
+    ) {
+        if sent {
+            stats.flits_forwarded += 1;
+        }
+        // A dead output link dominates any other attribution: the flit
+        // is never leaving this way, whatever the credits say.
+        let cause = match blocked {
+            Some(_) if dead => Some(StallCause::DeadLink),
+            c => c,
+        };
+        let Some(cause) = cause else {
+            // Forwarded or idle: any open streak is finished.
+            if let Some((c, since, cycles)) = open.take() {
+                if record {
+                    finished.push(LinkStallStreak {
+                        port,
+                        cause: c,
+                        since,
+                        cycles,
+                    });
+                }
+            }
+            return;
+        };
+        match cause {
+            StallCause::BusyChannel => stats.stall_busy += 1,
+            StallCause::DeadLink => stats.stall_dead_link += 1,
+            StallCause::Backpressure => stats.stall_backpressure += 1,
+        }
+        match open {
+            Some((c, _, cycles)) if *c == cause => *cycles += 1,
+            _ => {
+                if let Some((c, since, cycles)) = open.take() {
+                    if record {
+                        finished.push(LinkStallStreak {
+                            port,
+                            cause: c,
+                            since,
+                            cycles,
+                        });
+                    }
+                }
+                *open = Some((cause, now, 1));
+            }
+        }
+    }
+
+    /// Per-neighbor-output-port utilization/stall counters, indexed by
+    /// port. Always maintained (tracing on or off).
+    pub fn link_stats(&self) -> &[LinkStats] {
+        &self.link_stats
+    }
+
+    /// Turns finished-stall-streak recording on or off. Off (the
+    /// default), streaks are tracked but discarded as they finish, so
+    /// nothing accumulates; on, the network drains them into
+    /// `LinkStall` trace events via [`Router::drain_streaks_into`].
+    pub fn set_record_streaks(&mut self, record: bool) {
+        self.record_streaks = record;
+        if !record {
+            self.finished_streaks.clear();
+        }
+    }
+
+    /// Moves all finished stall streaks into `out` (appended, not
+    /// cleared), oldest first. Streaks still open when the run ends
+    /// are not reported as streaks — their cycles are already in
+    /// [`Router::link_stats`].
+    pub fn drain_streaks_into(&mut self, out: &mut Vec<LinkStallStreak>) {
+        out.append(&mut self.finished_streaks);
     }
 
     /// Adds one credit to output `(port, vc)` — the downstream input
@@ -934,6 +1124,131 @@ mod tests {
     fn credit_overflow_is_a_bug() {
         let mut r = router(0);
         r.add_credit(PortId::new(0), VcId::new(0)); // already at depth
+    }
+
+    #[test]
+    fn stall_attribution_backpressure() {
+        let topo = KAryNCube::torus(4, 1);
+        let rf = MinimalAdaptive::new(1);
+        let mut r = router(0);
+        let flits = worm(3, 1, 6, 1);
+        let now = Cycle::ZERO;
+        for f in &flits[..2] {
+            r.accept(now, PortId::new(1), VcId::new(0), *f);
+        }
+        r.route_and_allocate(now, &rf, &topo, &|_| false);
+        // Two forwards drain the credits; later cycles stall on
+        // backpressure with a flit still buffered.
+        assert_eq!(r.traverse(now, &|_| false).len(), 1);
+        assert_eq!(r.traverse(now + 1, &|_| false).len(), 1);
+        r.accept(now + 2, PortId::new(1), VcId::new(0), flits[2]);
+        assert!(r.traverse(now + 2, &|_| false).is_empty());
+        assert!(r.traverse(now + 3, &|_| false).is_empty());
+        let s = r.link_stats()[0];
+        assert_eq!(s.flits_forwarded, 2);
+        assert_eq!(s.stall_backpressure, 2);
+        assert_eq!(s.stall_busy, 0);
+        assert_eq!(s.stall_dead_link, 0);
+        assert_eq!(s.stall_total(), 2);
+    }
+
+    #[test]
+    fn stall_attribution_busy_channel() {
+        let topo = KAryNCube::torus(4, 1);
+        let rf = MinimalAdaptive::new(2);
+        let mut r = Router::new(
+            NodeId::new(0),
+            RouterConfig {
+                num_vcs: 2,
+                ..cfg()
+            },
+            SimRng::from_seed(2),
+        );
+        // Two worms sharing input port 1 but bound for different
+        // output ports: whichever port loses the shared input that
+        // cycle records a busy-channel stall.
+        let w1 = worm(3, 1, 2, 1); // out port 0
+        let w2 = worm(3, 3, 2, 2); // out port 1 (wraps -x)
+        let now = Cycle::ZERO;
+        r.accept(now, PortId::new(1), VcId::new(0), w1[0]);
+        r.accept(now, PortId::new(1), VcId::new(1), w2[0]);
+        r.route_and_allocate(now, &rf, &topo, &|_| false);
+        assert!(r.route_of(PortId::new(1), VcId::new(0)).is_some());
+        assert!(r.route_of(PortId::new(1), VcId::new(1)).is_some());
+        assert_eq!(r.traverse(now, &|_| false).len(), 1);
+        let stats = r.link_stats();
+        assert_eq!(
+            stats[0].flits_forwarded + stats[1].flits_forwarded,
+            1,
+            "one flit crossed"
+        );
+        assert_eq!(
+            stats[0].stall_busy + stats[1].stall_busy,
+            1,
+            "the loser of the shared input port stalls busy"
+        );
+    }
+
+    #[test]
+    fn stall_attribution_dead_link_dominates() {
+        let topo = KAryNCube::torus(4, 1);
+        let rf = MinimalAdaptive::new(1);
+        let mut r = router(0);
+        let flits = worm(3, 1, 6, 1);
+        let now = Cycle::ZERO;
+        for f in &flits[..2] {
+            r.accept(now, PortId::new(1), VcId::new(0), *f);
+        }
+        r.route_and_allocate(now, &rf, &topo, &|_| false);
+        assert_eq!(r.traverse(now, &|_| false).len(), 1);
+        assert_eq!(r.traverse(now + 1, &|_| false).len(), 1);
+        // The link dies mid-worm: the credit stall is re-attributed.
+        r.set_dead_out(PortId::new(0));
+        r.accept(now + 2, PortId::new(1), VcId::new(0), flits[2]);
+        assert!(r.traverse(now + 2, &|_| false).is_empty());
+        let s = r.link_stats()[0];
+        assert_eq!(s.stall_dead_link, 1);
+        assert_eq!(s.stall_backpressure, 0);
+        assert_eq!(s.stall_for(StallCause::DeadLink), 1);
+    }
+
+    #[test]
+    fn stall_streaks_recorded_only_when_enabled() {
+        let topo = KAryNCube::torus(4, 1);
+        let rf = MinimalAdaptive::new(1);
+        let mut r = router(0);
+        let flits = worm(3, 1, 6, 1);
+        let now = Cycle::ZERO;
+        for f in &flits[..2] {
+            r.accept(now, PortId::new(1), VcId::new(0), *f);
+        }
+        r.route_and_allocate(now, &rf, &topo, &|_| false);
+        assert_eq!(r.traverse(now, &|_| false).len(), 1);
+        assert_eq!(r.traverse(now + 1, &|_| false).len(), 1);
+        // Two stalled cycles with recording off leave nothing behind.
+        r.accept(now + 2, PortId::new(1), VcId::new(0), flits[2]);
+        assert!(r.traverse(now + 2, &|_| false).is_empty());
+        assert!(r.traverse(now + 3, &|_| false).is_empty());
+        let mut streaks = Vec::new();
+        r.add_credit(PortId::new(0), VcId::new(0));
+        assert_eq!(r.traverse(now + 4, &|_| false).len(), 1);
+        r.drain_streaks_into(&mut streaks);
+        assert!(streaks.is_empty(), "recording was off");
+        // Again with recording on: stall twice, then forward to close
+        // the streak.
+        r.set_record_streaks(true);
+        r.accept(now + 5, PortId::new(1), VcId::new(0), flits[3]);
+        r.accept(now + 5, PortId::new(1), VcId::new(0), flits[4]);
+        assert!(r.traverse(now + 5, &|_| false).is_empty());
+        assert!(r.traverse(now + 6, &|_| false).is_empty());
+        r.add_credit(PortId::new(0), VcId::new(0));
+        assert_eq!(r.traverse(now + 7, &|_| false).len(), 1);
+        r.drain_streaks_into(&mut streaks);
+        assert_eq!(streaks.len(), 1);
+        assert_eq!(streaks[0].port, PortId::new(0));
+        assert_eq!(streaks[0].cause, StallCause::Backpressure);
+        assert_eq!(streaks[0].since, now + 5);
+        assert_eq!(streaks[0].cycles, 2);
     }
 
     #[test]

@@ -18,6 +18,9 @@
 //! * [`pool`] — a work-stealing task pool on scoped threads, used by
 //!   the experiment harness to run sweep points in parallel while
 //!   keeping results in submission order (bit-identical to serial).
+//! * [`trace`] — typed protocol events ([`trace::Event`]) behind a
+//!   bounded ring-buffer sink ([`trace::TraceSink`]) that is a no-op
+//!   when disabled; the observability layer of the protocol crates.
 //!
 //! The crate depends on nothing outside `std` — it is the bottom of a
 //! fully hermetic, offline-buildable workspace.
@@ -52,6 +55,7 @@ pub mod ids;
 pub mod json;
 pub mod pool;
 pub mod rng;
+pub mod trace;
 
 pub use cycle::Cycle;
 pub use fifo::{Fifo, FifoFullError};

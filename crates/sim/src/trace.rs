@@ -1,0 +1,574 @@
+//! Structured event tracing for the protocol stack.
+//!
+//! The simulator's end-of-run aggregates (`SimReport`) answer *how
+//! much* — kills, retransmissions, latency percentiles — but not
+//! *why*: which link a worm stalled on, which attempt finally
+//! delivered, whether a kill came from a source timeout or a detected
+//! fault. This module provides the missing signal as a typed event
+//! stream:
+//!
+//! * [`Event`] — one protocol-level occurrence (injection start,
+//!   commitment, kill, scheduled retransmit, delivery, corruption
+//!   detection, or a finished link-stall streak).
+//! * [`TraceSink`] — where events go. The [`TraceSink::Disabled`]
+//!   variant is a no-op: an emit costs exactly one enum-discriminant
+//!   branch, so the hot loop is unaffected and reports stay
+//!   byte-identical with tracing off. The [`TraceSink::Ring`] variant
+//!   is a bounded ring buffer that drops the *oldest* events once
+//!   full (the tail of a run is usually the interesting part) and
+//!   counts what it dropped.
+//!
+//! Events carry raw ids (`message` as `u64`, `attempt` as `u32`)
+//! rather than protocol-crate types so this crate stays at the bottom
+//! of the dependency graph. Each event serializes to a single-line
+//! JSON object via [`Event::to_json`]; the experiment harness dumps
+//! one event per line (JSON-lines) under `--trace <path>`.
+//!
+//! # Examples
+//!
+//! ```
+//! use cr_sim::trace::{Event, TraceSink};
+//! use cr_sim::{Cycle, NodeId, MessageId};
+//!
+//! let mut sink = TraceSink::ring(4);
+//! sink.emit(|| Event::Inject {
+//!     at: Cycle::new(3),
+//!     src: NodeId::new(0),
+//!     dst: NodeId::new(5),
+//!     message: MessageId::new(7),
+//!     attempt: 0,
+//! });
+//! assert_eq!(sink.stats().emitted, 1);
+//! let events = sink.drain();
+//! assert_eq!(events.len(), 1);
+//! assert!(events[0].to_json().to_string().contains("\"inject\""));
+//! ```
+
+use crate::cycle::Cycle;
+use crate::ids::{LinkId, MessageId, NodeId};
+use crate::json::Json;
+use std::collections::VecDeque;
+
+/// Why a worm was killed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KillCause {
+    /// The source injector stalled past the kill timeout before the
+    /// worm committed.
+    SourceTimeout,
+    /// The fault model flagged the worm (corrupted flit, dead link).
+    Fault,
+    /// Path-wide detection: a router observed the stall mid-path.
+    PathWide,
+}
+
+impl KillCause {
+    /// Stable lower-case label used in JSON output.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            KillCause::SourceTimeout => "source_timeout",
+            KillCause::Fault => "fault",
+            KillCause::PathWide => "path_wide",
+        }
+    }
+}
+
+/// Why an output link spent a cycle blocked while it had a flit ready
+/// to forward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallCause {
+    /// The crossbar input feeding the link was already used this
+    /// cycle, or the channel is held by a frozen (killed) worm.
+    BusyChannel,
+    /// The output link is marked dead by the fault model.
+    DeadLink,
+    /// The downstream virtual channel advertised zero credits.
+    Backpressure,
+}
+
+impl StallCause {
+    /// Stable lower-case label used in JSON output.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            StallCause::BusyChannel => "busy_channel",
+            StallCause::DeadLink => "dead_link",
+            StallCause::Backpressure => "backpressure",
+        }
+    }
+}
+
+/// One protocol-level occurrence.
+///
+/// `message`/`attempt` pairs name one worm instance in flight (a
+/// retransmitted message keeps its [`MessageId`] and bumps the
+/// attempt). `at` is always the cycle the event happened; for
+/// [`Event::LinkStall`] it is the cycle the stall streak *started*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A worm began injecting (first pickup or a retry leaving
+    /// backoff).
+    Inject {
+        /// Cycle of the first flit of this attempt entering the
+        /// network.
+        at: Cycle,
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// The message.
+        message: MessageId,
+        /// Zero-based attempt number.
+        attempt: u32,
+    },
+    /// A worm crossed its commitment point (injected `I_min` flits):
+    /// it can no longer be killed by the source.
+    Commit {
+        /// Cycle the commitment threshold was crossed.
+        at: Cycle,
+        /// Source node.
+        src: NodeId,
+        /// The message.
+        message: MessageId,
+        /// Zero-based attempt number.
+        attempt: u32,
+    },
+    /// A worm was killed (teardown began).
+    Kill {
+        /// Cycle the kill was initiated.
+        at: Cycle,
+        /// Node where the kill originated (source for timeouts, the
+        /// detecting router for faults/path-wide).
+        node: NodeId,
+        /// The message.
+        message: MessageId,
+        /// Zero-based attempt number of the killed worm.
+        attempt: u32,
+        /// Why it was killed.
+        cause: KillCause,
+    },
+    /// The source scheduled a retransmission of a killed worm.
+    RetransmitScheduled {
+        /// Cycle the retransmit was scheduled (the kill's arrival at
+        /// the source).
+        at: Cycle,
+        /// The message.
+        message: MessageId,
+        /// Zero-based attempt number the retry will carry.
+        attempt: u32,
+        /// Earliest cycle the retry may start injecting.
+        resume_at: Cycle,
+    },
+    /// A complete message was delivered to its destination.
+    Deliver {
+        /// Cycle the tail flit was consumed.
+        at: Cycle,
+        /// Source node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// The message.
+        message: MessageId,
+        /// Total injection attempts the message needed.
+        attempts: u32,
+        /// Creation-to-delivery latency in cycles.
+        latency: u64,
+    },
+    /// The fault model flagged a flit as corrupted on a link.
+    CorruptionDetected {
+        /// Cycle of detection.
+        at: Cycle,
+        /// The link the corrupted flit arrived on.
+        link: LinkId,
+        /// The message.
+        message: MessageId,
+        /// Zero-based attempt number.
+        attempt: u32,
+    },
+    /// A finished stall streak on an output link: the link had a flit
+    /// ready for `cycles` consecutive cycles but could not forward
+    /// it, for one attributed cause.
+    LinkStall {
+        /// Cycle the streak started.
+        at: Cycle,
+        /// The blocked link.
+        link: LinkId,
+        /// The attributed cause (constant across the streak; a cause
+        /// change ends one streak and starts another).
+        cause: StallCause,
+        /// Streak length in cycles.
+        cycles: u64,
+    },
+}
+
+impl Event {
+    /// Stable lower-case label of the event kind (the `"type"` field
+    /// in JSON output).
+    pub const fn kind(&self) -> &'static str {
+        match self {
+            Event::Inject { .. } => "inject",
+            Event::Commit { .. } => "commit",
+            Event::Kill { .. } => "kill",
+            Event::RetransmitScheduled { .. } => "retransmit_scheduled",
+            Event::Deliver { .. } => "deliver",
+            Event::CorruptionDetected { .. } => "corruption_detected",
+            Event::LinkStall { .. } => "link_stall",
+        }
+    }
+
+    /// The cycle the event is stamped with.
+    pub const fn at(&self) -> Cycle {
+        match *self {
+            Event::Inject { at, .. }
+            | Event::Commit { at, .. }
+            | Event::Kill { at, .. }
+            | Event::RetransmitScheduled { at, .. }
+            | Event::Deliver { at, .. }
+            | Event::CorruptionDetected { at, .. }
+            | Event::LinkStall { at, .. } => at,
+        }
+    }
+
+    /// Serializes the event as a flat JSON object with a `"type"`
+    /// discriminant, suitable for JSON-lines dumps.
+    pub fn to_json(&self) -> Json {
+        let mut m: Vec<(&'static str, Json)> = vec![
+            ("type", Json::Str(self.kind().to_string())),
+            ("at", Json::U64(self.at().as_u64())),
+        ];
+        match *self {
+            Event::Inject {
+                src,
+                dst,
+                message,
+                attempt,
+                ..
+            } => {
+                m.push(("src", Json::U64(src.as_u32() as u64)));
+                m.push(("dst", Json::U64(dst.as_u32() as u64)));
+                m.push(("message", Json::U64(message.as_u64())));
+                m.push(("attempt", Json::U64(attempt as u64)));
+            }
+            Event::Commit {
+                src,
+                message,
+                attempt,
+                ..
+            } => {
+                m.push(("src", Json::U64(src.as_u32() as u64)));
+                m.push(("message", Json::U64(message.as_u64())));
+                m.push(("attempt", Json::U64(attempt as u64)));
+            }
+            Event::Kill {
+                node,
+                message,
+                attempt,
+                cause,
+                ..
+            } => {
+                m.push(("node", Json::U64(node.as_u32() as u64)));
+                m.push(("message", Json::U64(message.as_u64())));
+                m.push(("attempt", Json::U64(attempt as u64)));
+                m.push(("cause", Json::Str(cause.as_str().to_string())));
+            }
+            Event::RetransmitScheduled {
+                message,
+                attempt,
+                resume_at,
+                ..
+            } => {
+                m.push(("message", Json::U64(message.as_u64())));
+                m.push(("attempt", Json::U64(attempt as u64)));
+                m.push(("resume_at", Json::U64(resume_at.as_u64())));
+            }
+            Event::Deliver {
+                src,
+                dst,
+                message,
+                attempts,
+                latency,
+                ..
+            } => {
+                m.push(("src", Json::U64(src.as_u32() as u64)));
+                m.push(("dst", Json::U64(dst.as_u32() as u64)));
+                m.push(("message", Json::U64(message.as_u64())));
+                m.push(("attempts", Json::U64(attempts as u64)));
+                m.push(("latency", Json::U64(latency)));
+            }
+            Event::CorruptionDetected {
+                link,
+                message,
+                attempt,
+                ..
+            } => {
+                m.push(("link", Json::U64(link.as_u32() as u64)));
+                m.push(("message", Json::U64(message.as_u64())));
+                m.push(("attempt", Json::U64(attempt as u64)));
+            }
+            Event::LinkStall {
+                link,
+                cause,
+                cycles,
+                ..
+            } => {
+                m.push(("link", Json::U64(link.as_u32() as u64)));
+                m.push(("cause", Json::Str(cause.as_str().to_string())));
+                m.push(("cycles", Json::U64(cycles)));
+            }
+        }
+        Json::obj(m)
+    }
+}
+
+/// Emission statistics of a [`TraceSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Events emitted (including ones later dropped by the ring).
+    pub emitted: u64,
+    /// Oldest events evicted because the ring was full.
+    pub dropped: u64,
+}
+
+/// Destination for trace events.
+///
+/// Constructed [`TraceSink::Disabled`] by default; the disabled
+/// variant makes [`TraceSink::emit`] a single branch that never
+/// evaluates the event constructor (it takes a closure precisely so
+/// disabled runs do not even build the `Event` value).
+#[derive(Debug, Clone, Default)]
+pub enum TraceSink {
+    /// Tracing off: emits are discarded without constructing the
+    /// event.
+    #[default]
+    Disabled,
+    /// Tracing on: events land in a bounded ring buffer.
+    Ring(EventRing),
+}
+
+/// The bounded buffer behind [`TraceSink::Ring`].
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    emitted: u64,
+    dropped: u64,
+}
+
+impl TraceSink {
+    /// A sink buffering up to `capacity` events (oldest dropped
+    /// first). A zero capacity is bumped to 1.
+    pub fn ring(capacity: usize) -> TraceSink {
+        let capacity = capacity.max(1);
+        TraceSink::Ring(EventRing {
+            buf: VecDeque::with_capacity(capacity.min(1 << 16)),
+            capacity,
+            emitted: 0,
+            dropped: 0,
+        })
+    }
+
+    /// Whether events are being recorded.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        matches!(self, TraceSink::Ring(_))
+    }
+
+    /// Records the event produced by `make` — or, when disabled, does
+    /// nothing (the closure is not called).
+    #[inline]
+    pub fn emit(&mut self, make: impl FnOnce() -> Event) {
+        if let TraceSink::Ring(ring) = self {
+            ring.push(make());
+        }
+    }
+
+    /// Emission counters (zero when disabled).
+    pub fn stats(&self) -> TraceStats {
+        match self {
+            TraceSink::Disabled => TraceStats::default(),
+            TraceSink::Ring(r) => TraceStats {
+                emitted: r.emitted,
+                dropped: r.dropped,
+            },
+        }
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        match self {
+            TraceSink::Disabled => 0,
+            TraceSink::Ring(r) => r.buf.len(),
+        }
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes and returns all buffered events, oldest first. The
+    /// emitted/dropped counters are preserved.
+    pub fn drain(&mut self) -> Vec<Event> {
+        match self {
+            TraceSink::Disabled => Vec::new(),
+            TraceSink::Ring(r) => r.buf.drain(..).collect(),
+        }
+    }
+}
+
+impl EventRing {
+    fn push(&mut self, ev: Event) {
+        self.emitted += 1;
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Inject {
+                at: Cycle::new(1),
+                src: NodeId::new(0),
+                dst: NodeId::new(3),
+                message: MessageId::new(9),
+                attempt: 0,
+            },
+            Event::Commit {
+                at: Cycle::new(5),
+                src: NodeId::new(0),
+                message: MessageId::new(9),
+                attempt: 0,
+            },
+            Event::Kill {
+                at: Cycle::new(40),
+                node: NodeId::new(0),
+                message: MessageId::new(10),
+                attempt: 0,
+                cause: KillCause::SourceTimeout,
+            },
+            Event::RetransmitScheduled {
+                at: Cycle::new(44),
+                message: MessageId::new(10),
+                attempt: 1,
+                resume_at: Cycle::new(60),
+            },
+            Event::Deliver {
+                at: Cycle::new(80),
+                src: NodeId::new(0),
+                dst: NodeId::new(3),
+                message: MessageId::new(9),
+                attempts: 1,
+                latency: 79,
+            },
+            Event::CorruptionDetected {
+                at: Cycle::new(90),
+                link: LinkId::new(7),
+                message: MessageId::new(11),
+                attempt: 0,
+            },
+            Event::LinkStall {
+                at: Cycle::new(30),
+                link: LinkId::new(7),
+                cause: StallCause::Backpressure,
+                cycles: 12,
+            },
+        ]
+    }
+
+    #[test]
+    fn disabled_sink_is_inert_and_skips_construction() {
+        let mut sink = TraceSink::default();
+        assert!(!sink.enabled());
+        let mut called = false;
+        sink.emit(|| {
+            called = true;
+            sample_events()[0]
+        });
+        assert!(!called, "disabled sink must not build the event");
+        assert_eq!(sink.stats(), TraceStats::default());
+        assert!(sink.drain().is_empty());
+    }
+
+    #[test]
+    fn ring_records_in_order() {
+        let mut sink = TraceSink::ring(16);
+        assert!(sink.enabled());
+        for ev in sample_events() {
+            sink.emit(|| ev);
+        }
+        let out = sink.drain();
+        assert_eq!(out, sample_events());
+        assert_eq!(sink.stats().emitted, 7);
+        assert_eq!(sink.stats().dropped, 0);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let mut sink = TraceSink::ring(3);
+        for ev in sample_events() {
+            sink.emit(|| ev);
+        }
+        let out = sink.drain();
+        assert_eq!(out.len(), 3);
+        // The three newest survive.
+        assert_eq!(out, sample_events()[4..].to_vec());
+        assert_eq!(sink.stats().emitted, 7);
+        assert_eq!(sink.stats().dropped, 4);
+    }
+
+    #[test]
+    fn zero_capacity_is_bumped() {
+        let mut sink = TraceSink::ring(0);
+        sink.emit(|| sample_events()[0]);
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn every_event_serializes_with_type_and_at() {
+        for ev in sample_events() {
+            let j = ev.to_json();
+            assert_eq!(
+                j.get("type").and_then(Json::as_str),
+                Some(ev.kind()),
+                "{ev:?}"
+            );
+            assert_eq!(
+                j.get("at").and_then(Json::as_u64),
+                Some(ev.at().as_u64()),
+                "{ev:?}"
+            );
+            // Single-line JSON that round-trips through the parser.
+            let line = j.to_string();
+            assert!(!line.contains('\n'));
+            let back = Json::parse(&line).expect("event line parses");
+            assert_eq!(back.get("type").and_then(Json::as_str), Some(ev.kind()));
+        }
+    }
+
+    #[test]
+    fn kind_specific_fields_are_present() {
+        let evs = sample_events();
+        assert_eq!(evs[2].to_json().get("cause").and_then(Json::as_str), Some("source_timeout"));
+        assert_eq!(evs[3].to_json().get("resume_at").and_then(Json::as_u64), Some(60));
+        assert_eq!(evs[4].to_json().get("latency").and_then(Json::as_u64), Some(79));
+        assert_eq!(evs[5].to_json().get("link").and_then(Json::as_u64), Some(7));
+        assert_eq!(evs[6].to_json().get("cause").and_then(Json::as_str), Some("backpressure"));
+        assert_eq!(evs[6].to_json().get("cycles").and_then(Json::as_u64), Some(12));
+    }
+
+    #[test]
+    fn cause_labels_are_stable() {
+        assert_eq!(KillCause::SourceTimeout.as_str(), "source_timeout");
+        assert_eq!(KillCause::Fault.as_str(), "fault");
+        assert_eq!(KillCause::PathWide.as_str(), "path_wide");
+        assert_eq!(StallCause::BusyChannel.as_str(), "busy_channel");
+        assert_eq!(StallCause::DeadLink.as_str(), "dead_link");
+        assert_eq!(StallCause::Backpressure.as_str(), "backpressure");
+    }
+}

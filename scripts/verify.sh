@@ -22,6 +22,21 @@ if ! diff -q "$tmpdir/tiny_serial.txt" "$tmpdir/tiny_parallel.txt" > /dev/null; 
 fi
 echo "verify: parallel --tiny output identical to serial"
 
+# Tracing must be record-only: a runner's measured output is
+# byte-identical with and without --trace, and the dumped JSON-lines
+# trace parses with the full protocol lifecycle present
+# (kill / retransmit_scheduled / deliver).
+./target/release/fig11 --tiny --jobs 1 > "$tmpdir/fig11_plain.txt"
+./target/release/fig11 --tiny --jobs 1 --trace "$tmpdir/fig11_trace.jsonl" \
+    > "$tmpdir/fig11_traced.txt"
+if ! diff -q "$tmpdir/fig11_plain.txt" "$tmpdir/fig11_traced.txt" > /dev/null; then
+    echo "verify: FAIL — --trace changed fig11 output" >&2
+    diff "$tmpdir/fig11_plain.txt" "$tmpdir/fig11_traced.txt" | head -40 >&2
+    exit 1
+fi
+./target/release/trace_check "$tmpdir/fig11_trace.jsonl"
+echo "verify: fig11 output unchanged by --trace; trace dump validated"
+
 # Bench smoke: regenerate BENCH_sweep.json cheaply and check its
 # schema (group/meta/benchmarks with the documented fields).
 CR_BENCH_SAMPLES=3 cargo bench --offline -p cr-bench --bench sweep > /dev/null
