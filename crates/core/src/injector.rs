@@ -21,7 +21,7 @@ use crate::retransmit::RetransmitScheme;
 use cr_router::flit::worm_flits;
 use cr_router::{Router, WormId};
 use cr_sim::{Cycle, MessageId, NodeId, SimRng};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// A message waiting to be (re)transmitted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,8 +107,9 @@ pub struct Injector {
     queue: VecDeque<PendingMessage>,
     current: Option<Current>,
     /// Fully injected messages not yet confirmed delivered; a backward
-    /// kill re-queues them (FCR fault recovery).
-    vulnerable: HashMap<MessageId, PendingMessage>,
+    /// kill re-queues them (FCR fault recovery). BTreeMap for a
+    /// defined iteration order (cr-lint `hash-collections`).
+    vulnerable: BTreeMap<MessageId, PendingMessage>,
     rng: SimRng,
 }
 
@@ -131,7 +132,7 @@ impl Injector {
             ablations: Ablations::default(),
             queue: VecDeque::new(),
             current: None,
-            vulnerable: HashMap::new(),
+            vulnerable: BTreeMap::new(),
             rng,
         }
     }
@@ -232,7 +233,11 @@ impl Injector {
             });
         }
 
-        let c = self.current.as_mut().expect("current set above");
+        // Either a worm was already in flight or the pickup above
+        // installed one (returning early when the queue was empty).
+        let Some(c) = self.current.as_mut() else {
+            return out;
+        };
         let pad = c.total_len - c.msg.payload_len;
         // Regenerating the flit for the current position is cheap and
         // keeps no per-attempt buffer around (the hardware keeps the
@@ -246,8 +251,11 @@ impl Injector {
             c.msg.msg_seq,
             c.msg.created,
         )
-        .nth(c.next as usize)
-        .expect("next < total_len");
+        .nth(c.next as usize);
+        let Some(flit) = flit else {
+            debug_assert!(false, "flit cursor past worm length");
+            return out;
+        };
 
         if router.try_inject(now, self.channel, flit) {
             out.injected_flit = true;
@@ -264,8 +272,9 @@ impl Injector {
             }
             if c.next == c.total_len {
                 out.finished_injection = true;
-                let msg = self.current.take().expect("current set").msg;
-                self.vulnerable.insert(msg.id, msg);
+                if let Some(cur) = self.current.take() {
+                    self.vulnerable.insert(cur.msg.id, cur.msg);
+                }
             }
         } else {
             c.stall += 1;

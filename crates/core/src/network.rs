@@ -610,24 +610,24 @@ impl Network {
             for v in 0..self.links[li].lanes.len() {
                 let vc = VcId::new(v as u8);
                 loop {
-                    match self.links[li].lanes[v].front() {
-                        Some(&(arrive, _)) if arrive <= now => {}
-                        _ => break,
-                    }
                     // Wormhole channels are stall-holding: a flit
                     // stays in the channel's pipeline latches while
                     // the downstream buffer is full (the `link_depth`
                     // share of the credits covers exactly this
                     // occupancy).
-                    let killed = {
-                        let (_, flit) = self.links[li].lanes[v].front().expect("checked");
-                        let killed = self.killed.contains(flit.worm);
-                        if !killed && self.routers[dst_node].vc_is_full(dst_port, vc) {
-                            break;
+                    let killed = match self.links[li].lanes[v].front() {
+                        Some(&(arrive, ref flit)) if arrive <= now => {
+                            let killed = self.killed.contains(flit.worm);
+                            if !killed && self.routers[dst_node].vc_is_full(dst_port, vc) {
+                                break;
+                            }
+                            killed
                         }
-                        killed
+                        _ => break,
                     };
-                    let (_, mut flit) = self.links[li].lanes[v].pop_front().expect("checked");
+                    let Some((_, mut flit)) = self.links[li].lanes[v].pop_front() else {
+                        break; // unreachable: front() just succeeded
+                    };
                     self.links[li].occupied -= 1;
                     flit.hops = flit.hops.saturating_add(1);
 
@@ -781,11 +781,10 @@ impl Network {
     }
 
     fn phase_traffic(&mut self, now: Cycle) {
-        while let Some(e) = self.scheduled.front() {
-            if e.at > now {
-                break;
-            }
-            let e = self.scheduled.pop_front().expect("checked");
+        while self.scheduled.front().is_some_and(|e| e.at <= now) {
+            let Some(e) = self.scheduled.pop_front() else {
+                break; // unreachable: front() just succeeded
+            };
             self.send_message(e.src, e.dst, e.length);
         }
         if self.sources.is_empty() {
@@ -878,8 +877,14 @@ impl Network {
                 }
                 match t.target {
                     RouteTarget::Link { port, vc } => {
-                        let li = self.out_link[n][port.index()]
-                            .expect("routing only offers connected ports");
+                        let Some(li) = self.out_link[n][port.index()] else {
+                            // Routing only offers connected ports;
+                            // stay loud in debug, drop defensively in
+                            // release rather than killing the sweep
+                            // worker.
+                            debug_assert!(false, "route to disconnected port");
+                            continue;
+                        };
                         if now.as_u64() >= self.cfg.warmup {
                             self.link_flits[li] += 1;
                         }

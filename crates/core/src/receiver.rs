@@ -10,7 +10,7 @@
 
 use cr_router::{Flit, FlitKind, WormId};
 use cr_sim::{Cycle, MessageId, NodeId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A message handed to the processor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -67,11 +67,14 @@ struct Assembly {
 #[derive(Debug)]
 pub struct Receiver {
     node: NodeId,
-    assembling: HashMap<WormId, Assembly>,
+    // BTreeMaps, not HashMaps: `prune` iterates `assembling`, and a
+    // defined iteration order keeps every observable path
+    // deterministic by construction (cr-lint `hash-collections`).
+    assembling: BTreeMap<WormId, Assembly>,
     /// Next expected msg_seq per source.
-    expected: HashMap<NodeId, u64>,
+    expected: BTreeMap<NodeId, u64>,
     /// Completed-but-early worms, keyed by (src, msg_seq).
-    reorder: HashMap<(NodeId, u64), DeliveredMessage>,
+    reorder: BTreeMap<(NodeId, u64), DeliveredMessage>,
     counters: ReceiverCounters,
 }
 
@@ -80,9 +83,9 @@ impl Receiver {
     pub fn new(node: NodeId) -> Self {
         Receiver {
             node,
-            assembling: HashMap::new(),
-            expected: HashMap::new(),
-            reorder: HashMap::new(),
+            assembling: BTreeMap::new(),
+            expected: BTreeMap::new(),
+            reorder: BTreeMap::new(),
             counters: ReceiverCounters::default(),
         }
     }
@@ -133,8 +136,13 @@ impl Receiver {
             return Vec::new();
         }
 
-        // Tail: the worm is complete.
-        let asm = self.assembling.remove(&flit.worm).expect("just inserted");
+        // Tail: the worm is complete. The entry was created (or
+        // touched) above, so this only misses if that invariant
+        // breaks — stay loud in debug, drop the worm in release.
+        let Some(asm) = self.assembling.remove(&flit.worm) else {
+            debug_assert!(false, "tail flit without an assembly");
+            return Vec::new();
+        };
         debug_assert_eq!(asm.flits_seen, flit.worm_len, "flits went missing");
         let msg = DeliveredMessage {
             id: flit.worm.message,

@@ -6,7 +6,7 @@ use cr_core::{NetworkBuilder, SimReport};
 use cr_topology::KAryNCube;
 use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 
 /// Session-wide job-count override set by `--jobs N` (0 = unset, fall
 /// back to `CR_JOBS` / available parallelism at sweep time).
@@ -26,19 +26,34 @@ const TRACE_RING_CAPACITY: usize = 1 << 16;
 /// traced run appends its events as one JSON object per line. `None`
 /// turns tracing back off.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the file cannot be created.
-pub fn set_trace_path(path: Option<std::path::PathBuf>) {
+/// Returns the I/O error if the file cannot be created; tracing stays
+/// in its previous state.
+pub fn set_trace_path(path: Option<std::path::PathBuf>) -> std::io::Result<()> {
     if let Some(p) = &path {
-        std::fs::File::create(p).expect("--trace path must be creatable");
+        std::fs::File::create(p)?;
     }
-    *TRACE_PATH.lock().expect("trace path lock") = path;
+    *TRACE_PATH.lock().unwrap_or_else(PoisonError::into_inner) = path;
+    Ok(())
+}
+
+/// Applies a `--trace` argument, exiting with a diagnostic if the dump
+/// file cannot be created — flag parsing has no caller to hand the
+/// error to.
+fn apply_trace_arg(p: &str) {
+    if let Err(e) = set_trace_path(Some(p.into())) {
+        eprintln!("error: cannot create --trace file {p}: {e}");
+        std::process::exit(2);
+    }
 }
 
 /// Whether a `--trace` dump path is active.
 pub fn trace_active() -> bool {
-    TRACE_PATH.lock().expect("trace path lock").is_some()
+    TRACE_PATH
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .is_some()
 }
 
 /// Appends one run's drained events to the active trace file, one
@@ -47,20 +62,23 @@ pub fn trace_active() -> bool {
 /// interleave mid-run.
 fn dump_trace(net: &mut cr_core::Network) {
     let events = net.take_trace_events();
-    let guard = TRACE_PATH.lock().expect("trace path lock");
+    let guard = TRACE_PATH.lock().unwrap_or_else(PoisonError::into_inner);
     let Some(path) = guard.as_ref() else {
         return;
     };
     let mut f = std::fs::OpenOptions::new()
         .append(true)
         .open(path)
+        // cr-lint: allow(panic-discipline, reason = "mid-sweep trace-file loss is unrecoverable: --trace was an explicit operator request and a silently truncated dump would be worse than aborting")
         .expect("trace file vanished mid-run");
     let mut buf = String::new();
     for ev in &events {
         buf.push_str(&ev.to_json().to_string());
         buf.push('\n');
     }
-    f.write_all(buf.as_bytes()).expect("trace write failed");
+    f.write_all(buf.as_bytes())
+        // cr-lint: allow(panic-discipline, reason = "mid-sweep trace-file loss is unrecoverable: --trace was an explicit operator request and a silently truncated dump would be worse than aborting")
+        .expect("trace write failed");
 }
 
 /// Pins the job count for every subsequent [`sweep`] in this process
@@ -213,10 +231,10 @@ impl Scale {
                 set_jobs(n);
             } else if a == "--trace" {
                 if let Some(p) = it.next() {
-                    set_trace_path(Some(p.into()));
+                    apply_trace_arg(p);
                 }
             } else if let Some(p) = a.strip_prefix("--trace=") {
-                set_trace_path(Some(p.into()));
+                apply_trace_arg(p);
             }
         }
         if args.iter().any(|a| a == "--tiny") {

@@ -34,7 +34,7 @@
 
 use cr_sim::{LinkId, NodeId, SimRng};
 use cr_topology::Topology;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Fault injection model: permanent dead links plus a transient
 /// per-flit-hop corruption process.
@@ -46,7 +46,10 @@ use std::collections::HashSet;
 pub struct FaultModel {
     transient_rate: f64,
     detection_miss_rate: f64,
-    dead_links: HashSet<LinkId>,
+    // BTreeSet so `dead_links()` iterates in a defined order — the
+    // experiment harness may fold this into reported output (cr-lint
+    // `hash-collections`).
+    dead_links: BTreeSet<LinkId>,
 }
 
 impl FaultModel {
@@ -190,7 +193,12 @@ impl FaultModel {
                 }
                 return Err(FaultPlanError::TooManyFaults { requested: count });
             }
-            let candidate = all[rng.pick_index(all.len()).expect("network has links")].id;
+            // `pick_index` is `None` only on an empty link set, which
+            // the caller can handle like any other unsatisfiable plan.
+            let Some(pick) = rng.pick_index(all.len()) else {
+                return Err(FaultPlanError::EmptyNetwork);
+            };
+            let candidate = all[pick].id;
             if self.dead_links.contains(&candidate) {
                 continue;
             }
@@ -222,6 +230,8 @@ pub enum FaultPlanError {
         /// How many dead links were requested.
         requested: usize,
     },
+    /// The topology has no links at all to draw candidates from.
+    EmptyNetwork,
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -231,6 +241,9 @@ impl std::fmt::Display for FaultPlanError {
                 f,
                 "could not place {requested} dead links without disconnecting the network"
             ),
+            FaultPlanError::EmptyNetwork => {
+                write!(f, "the topology has no links to kill")
+            }
         }
     }
 }
@@ -239,7 +252,7 @@ impl std::error::Error for FaultPlanError {}
 
 /// Returns `true` if the network remains strongly connected when the
 /// links in `dead` are removed.
-pub fn strongly_connected(topology: &dyn Topology, dead: &HashSet<LinkId>) -> bool {
+pub fn strongly_connected(topology: &dyn Topology, dead: &BTreeSet<LinkId>) -> bool {
     let n = topology.num_nodes();
     if n == 0 {
         return true;
@@ -348,12 +361,12 @@ mod tests {
         // A 2-node ring: killing one direction breaks strong
         // connectivity.
         let t = KAryNCube::torus(2, 1);
-        assert!(strongly_connected(&t, &HashSet::new()));
+        assert!(strongly_connected(&t, &BTreeSet::new()));
         let l = t.links()[0].id;
-        let dead: HashSet<LinkId> = [l].into_iter().collect();
+        let dead: BTreeSet<LinkId> = [l].into_iter().collect();
         // radix-2 torus has parallel wrap channels, so one cut may not
         // disconnect; kill all channels leaving node 0 instead.
-        let mut all_out: HashSet<LinkId> = HashSet::new();
+        let mut all_out: BTreeSet<LinkId> = BTreeSet::new();
         for link in t.links() {
             if link.src == NodeId::new(0) {
                 all_out.insert(link.id);
@@ -411,7 +424,7 @@ mod tests {
             }
         }
         let g = GraphTopology::from_edges(n, &edges).unwrap();
-        let ring: HashSet<(usize, usize)> = (0..n)
+        let ring: BTreeSet<(usize, usize)> = (0..n)
             .flat_map(|i| [(i, (i + 1) % n), ((i + 1) % n, i)])
             .collect();
         let mut f = FaultModel::new();

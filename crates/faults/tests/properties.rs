@@ -4,7 +4,7 @@ use cr_faults::{strongly_connected, FaultModel};
 use cr_sim::check::{check, Config};
 use cr_sim::SimRng;
 use cr_topology::{KAryNCube, Topology};
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Connectivity-preserving fault plans actually preserve strong
 /// connectivity, for any requested count the planner accepts.
@@ -21,7 +21,7 @@ fn fault_plans_preserve_connectivity() {
             Ok(killed) => {
                 assert_eq!(killed.len(), count);
                 assert_eq!(f.num_dead_links(), count);
-                let dead: HashSet<_> = f.dead_links().collect();
+                let dead: BTreeSet<_> = f.dead_links().collect();
                 assert!(strongly_connected(&topo, &dead));
             }
             Err(_) => {
@@ -39,8 +39,8 @@ fn connectivity_extremes() {
     check("connectivity_extremes", Config::default(), |src| {
         let radix = src.usize_in(2..6);
         let topo = KAryNCube::torus(radix, 2);
-        assert!(strongly_connected(&topo, &HashSet::new()));
-        let mut dead = HashSet::new();
+        assert!(strongly_connected(&topo, &BTreeSet::new()));
+        let mut dead = BTreeSet::new();
         for l in topo.links() {
             if l.src.index() == 0 {
                 dead.insert(l.id);

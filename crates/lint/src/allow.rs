@@ -1,0 +1,228 @@
+//! Escape-comment parsing: `// cr-lint: allow(<rule>, reason = "…")`.
+//!
+//! A justified violation stays in the tree with its justification
+//! *next to it*, reviewable in the same diff. A directive suppresses
+//! matching findings on its own line (trailing comment) and on the
+//! line immediately below it (comment-above-the-site, the common
+//! form). Directives are only read from plain `//` and `/* */`
+//! comments — doc comments are rendered documentation and may quote
+//! the syntax freely.
+//!
+//! The syntax is strict on purpose:
+//!
+//! * the rule name must be a real rule ([`crate::rules::RULES`]);
+//! * the `reason = "…"` field is mandatory and must be non-empty;
+//! * a directive that suppresses nothing is itself a finding
+//!   (`unused-allow`), so stale escapes cannot accumulate.
+//!
+//! Malformed directives are reported as `malformed-allow` rather than
+//! silently ignored — a typo in an escape comment must not quietly
+//! re-arm the rule it meant to silence.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::RULES;
+use crate::tokenizer::Comment;
+
+/// One parsed `allow` directive.
+#[derive(Debug)]
+pub struct Allow {
+    /// Line the comment starts on.
+    pub line: u32,
+    /// The rule it suppresses.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Set when the directive suppressed at least one finding.
+    pub used: bool,
+}
+
+/// Scans comments for directives. Returns the parsed allows plus any
+/// `malformed-allow` findings.
+pub fn parse(file: &str, comments: &[Comment]) -> (Vec<Allow>, Vec<Diagnostic>) {
+    let mut allows = Vec::new();
+    let mut diags = Vec::new();
+    for c in comments {
+        if c.doc {
+            continue;
+        }
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("cr-lint:") else {
+            continue;
+        };
+        match parse_directive(rest.trim()) {
+            Ok((rule, reason)) => allows.push(Allow {
+                line: c.line,
+                rule,
+                reason,
+                used: false,
+            }),
+            Err(msg) => diags.push(Diagnostic {
+                file: file.to_string(),
+                line: c.line,
+                col: 1,
+                rule: "malformed-allow",
+                message: msg,
+            }),
+        }
+    }
+    (allows, diags)
+}
+
+/// Parses `allow(<rule>, reason = "…")` after the `cr-lint:` marker.
+fn parse_directive(s: &str) -> Result<(String, String), String> {
+    let Some(body) = s.strip_prefix("allow") else {
+        return Err(format!(
+            "unknown cr-lint directive `{s}`: expected `allow(<rule>, reason = \"…\")`"
+        ));
+    };
+    let body = body.trim_start();
+    let Some(body) = body.strip_prefix('(').and_then(|b| b.strip_suffix(')')) else {
+        return Err("allow directive must be `allow(<rule>, reason = \"…\")`".to_string());
+    };
+    let Some((rule, rest)) = body.split_once(',') else {
+        return Err("allow directive is missing the mandatory `reason = \"…\"` field".to_string());
+    };
+    let rule = rule.trim();
+    if !RULES.contains(&rule) {
+        return Err(format!(
+            "allow names unknown rule `{rule}` (rules: {})",
+            RULES.join(", ")
+        ));
+    }
+    let rest = rest.trim();
+    let Some(reason) = rest
+        .strip_prefix("reason")
+        .map(|r| r.trim_start())
+        .and_then(|r| r.strip_prefix('='))
+        .map(|r| r.trim())
+        .and_then(|r| r.strip_prefix('"'))
+        .and_then(|r| r.strip_suffix('"'))
+    else {
+        return Err(format!("expected `reason = \"…\"` after the rule name, got `{rest}`"));
+    };
+    if reason.trim().is_empty() {
+        return Err("allow reason must not be empty".to_string());
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+/// Applies `allows` to `diags`: drops every finding covered by a
+/// directive on the same or the preceding line, marks those
+/// directives used, and reports the rest as `unused-allow`.
+pub fn apply(file: &str, mut allows: Vec<Allow>, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for d in diags {
+        let mut suppressed = false;
+        for a in allows.iter_mut() {
+            if a.rule == d.rule && (a.line == d.line || a.line + 1 == d.line) {
+                a.used = true;
+                suppressed = true;
+            }
+        }
+        if !suppressed {
+            out.push(d);
+        }
+    }
+    for a in &allows {
+        if !a.used {
+            out.push(Diagnostic {
+                file: file.to_string(),
+                line: a.line,
+                col: 1,
+                rule: "unused-allow",
+                message: format!(
+                    "allow({}) suppresses nothing on this or the next line — remove it",
+                    a.rule
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comment(text: &str, line: u32) -> Comment {
+        Comment {
+            text: text.to_string(),
+            line,
+            doc: false,
+        }
+    }
+
+    #[test]
+    fn parses_well_formed_directive() {
+        let (allows, diags) = parse(
+            "f.rs",
+            &[comment(
+                " cr-lint: allow(panic-discipline, reason = \"documented invariant\")",
+                7,
+            )],
+        );
+        assert!(diags.is_empty());
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "panic-discipline");
+        assert_eq!(allows[0].reason, "documented invariant");
+    }
+
+    #[test]
+    fn unknown_rule_and_missing_reason_are_malformed() {
+        let (allows, diags) = parse(
+            "f.rs",
+            &[
+                comment(" cr-lint: allow(no-such-rule, reason = \"x\")", 1),
+                comment(" cr-lint: allow(panic-discipline)", 2),
+                comment(" cr-lint: deny(panic-discipline)", 3),
+            ],
+        );
+        assert!(allows.is_empty());
+        assert_eq!(diags.len(), 3);
+        assert!(diags.iter().all(|d| d.rule == "malformed-allow"));
+    }
+
+    #[test]
+    fn doc_comments_are_not_directives() {
+        let (allows, diags) = parse(
+            "f.rs",
+            &[Comment {
+                text: "/ cr-lint: allow(panic-discipline, reason = \"quoted in docs\")".to_string(),
+                line: 1,
+                doc: true,
+            }],
+        );
+        assert!(allows.is_empty() && diags.is_empty());
+    }
+
+    #[test]
+    fn suppression_covers_same_and_next_line_only() {
+        let mk = |line| Diagnostic {
+            file: "f.rs".into(),
+            line,
+            col: 1,
+            rule: "panic-discipline",
+            message: "m".into(),
+        };
+        let (allows, _) = parse(
+            "f.rs",
+            &[comment(" cr-lint: allow(panic-discipline, reason = \"r\")", 10)],
+        );
+        let out = apply("f.rs", allows, vec![mk(10), mk(11), mk(12)]);
+        // Lines 10 and 11 suppressed; 12 survives; directive was used.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].line, 12);
+    }
+
+    #[test]
+    fn stale_allow_is_reported() {
+        let (allows, _) = parse(
+            "f.rs",
+            &[comment(" cr-lint: allow(unsafe-code, reason = \"gone\")", 4)],
+        );
+        let out = apply("f.rs", allows, Vec::new());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "unused-allow");
+        assert_eq!(out[0].line, 4);
+    }
+}

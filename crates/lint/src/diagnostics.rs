@@ -1,0 +1,140 @@
+//! Findings and their two output formats.
+//!
+//! A [`Diagnostic`] names a rule violation at an exact source
+//! position. Human output is one `file:line:col: [rule] message` line
+//! per finding (clickable in most terminals and editors); `--json`
+//! output is a stable array-of-objects schema for `scripts/verify.sh`
+//! and any future CI tooling. Diagnostics sort by position so output
+//! is deterministic regardless of rule evaluation order.
+
+use std::fmt;
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule identifier (see [`crate::rules::RULES`]).
+    pub rule: &'static str,
+    /// What is wrong and what to do instead.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Sorts findings into reporting order: by file, then position, then
+/// rule (two rules can fire on one token).
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+    });
+}
+
+/// Renders findings as newline-terminated human-readable lines.
+pub fn render_human(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders findings as a JSON array (pretty-printed one object per
+/// finding), e.g.:
+///
+/// ```text
+/// [
+///   {"file":"crates/core/src/network.rs","line":12,"col":9,
+///    "rule":"panic-discipline","message":"…"}
+/// ]
+/// ```
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        out.push_str(&format!("\"file\":\"{}\",", json_escape(&d.file)));
+        out.push_str(&format!("\"line\":{},", d.line));
+        out.push_str(&format!("\"col\":{},", d.col));
+        out.push_str(&format!("\"rule\":\"{}\",", json_escape(d.rule)));
+        out.push_str(&format!("\"message\":\"{}\"", json_escape(&d.message)));
+        out.push('}');
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(file: &str, line: u32, col: u32, rule: &'static str) -> Diagnostic {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            col,
+            rule,
+            message: "m \"q\"".to_string(),
+        }
+    }
+
+    #[test]
+    fn sorted_and_rendered() {
+        let mut d = vec![diag("b.rs", 1, 1, "r"), diag("a.rs", 2, 1, "r"), diag("a.rs", 1, 9, "r")];
+        sort(&mut d);
+        let human = render_human(&d);
+        let lines: Vec<&str> = human.lines().collect();
+        assert!(lines[0].starts_with("a.rs:1:9:"));
+        assert!(lines[1].starts_with("a.rs:2:1:"));
+        assert!(lines[2].starts_with("b.rs:1:1:"));
+    }
+
+    #[test]
+    fn json_is_escaped_and_parses() {
+        let d = vec![diag("a\"b.rs", 3, 4, "rule-x")];
+        let json = render_json(&d);
+        assert!(json.contains("a\\\"b.rs"));
+        assert!(json.contains("\"line\":3"));
+        assert!(json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn empty_json_is_an_empty_array() {
+        assert_eq!(render_json(&[]), "[]\n");
+    }
+}

@@ -1,0 +1,64 @@
+//! `cr-lint`: source-level static analysis for this workspace.
+//!
+//! The repo's core guarantees — byte-identical results under any
+//! `--jobs` count, with tracing on or off, building offline with an
+//! empty registry — are enforced dynamically by twin-run tests. This
+//! crate makes them a checked property of the *source*: a stray
+//! `HashMap` iteration, `Instant::now`, `thread::spawn`, registry
+//! import, `unsafe` block, or hot-path `unwrap` is a build failure
+//! the moment it is written, not a flake three PRs later.
+//!
+//! In the spirit of the in-repo JSON/RNG/check modules, the tool is
+//! zero-dependency: a lightweight Rust tokenizer
+//! ([`tokenizer`]) feeds a rule engine ([`rules`]) scoped by the
+//! workspace layout ([`config`]); findings ([`diagnostics`]) carry
+//! exact `file:line:col` positions and can be escaped, site by site,
+//! with justified `cr-lint: allow` comments ([`allow`]).
+//!
+//! Run it with `cargo run -p cr-lint` (human output) or
+//! `cargo run -p cr-lint -- --json` (CI). Exit status is 0 only when
+//! the workspace is clean. See DESIGN.md §9 for the rule catalogue
+//! and how to add a rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allow;
+pub mod config;
+pub mod diagnostics;
+pub mod rules;
+pub mod tokenizer;
+pub mod walk;
+
+use config::FileContext;
+use diagnostics::Diagnostic;
+use std::path::Path;
+
+pub use rules::lint_file;
+
+/// Lints every source file of the workspace at `root`, returning
+/// sorted findings (empty = clean).
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    let mut checked = 0usize;
+    for path in walk::collect_files(root)? {
+        let rel = walk::rel_path(root, &path);
+        let Some(ctx) = FileContext::classify(&rel) else {
+            continue;
+        };
+        let src = std::fs::read_to_string(&path)?;
+        diags.extend(rules::lint_file(&ctx, &src));
+        checked += 1;
+    }
+    debug_assert!(checked > 0, "workspace walk found no source files");
+    diagnostics::sort(&mut diags);
+    Ok(diags)
+}
+
+/// Number of lintable files under `root` (for the CLI summary line).
+pub fn count_files(root: &Path) -> std::io::Result<usize> {
+    Ok(walk::collect_files(root)?
+        .iter()
+        .filter(|p| FileContext::classify(&walk::rel_path(root, p)).is_some())
+        .count())
+}

@@ -1,0 +1,98 @@
+//! The `cr-lint` command-line front end.
+//!
+//! ```text
+//! cr-lint [--json] [--root <dir>]
+//! ```
+//!
+//! Walks the workspace (found by searching upward from the current
+//! directory for a `Cargo.toml` containing `[workspace]`, unless
+//! `--root` pins it), lints every source file, and prints findings —
+//! human `file:line:col: [rule] message` lines by default, a JSON
+//! array under `--json`. Exits 0 when clean, 1 on findings, 2 on
+//! usage or I/O errors. The full-workspace run completes well under
+//! the 5-second budget `scripts/verify.sh` allots it.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            other => {
+                if let Some(dir) = other.strip_prefix("--root=") {
+                    root = Some(PathBuf::from(dir));
+                } else {
+                    return usage(&format!("unknown argument `{other}`"));
+                }
+            }
+        }
+    }
+
+    let root = match root.map(Ok).unwrap_or_else(find_workspace_root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cr-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match cr_lint::lint_workspace(&root) {
+        Ok(diags) => {
+            if json {
+                print!("{}", cr_lint::diagnostics::render_json(&diags));
+            } else {
+                print!("{}", cr_lint::diagnostics::render_human(&diags));
+                let files = cr_lint::count_files(&root).unwrap_or(0);
+                if diags.is_empty() {
+                    println!("cr-lint: clean ({files} files)");
+                } else {
+                    println!("cr-lint: {} finding(s) in {files} files", diags.len());
+                }
+            }
+            if diags.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("cr-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("cr-lint: {msg}\nusage: cr-lint [--json] [--root <dir>]");
+    ExitCode::from(2)
+}
+
+/// Searches upward from the current directory for the workspace root
+/// (a `Cargo.toml` declaring `[workspace]`).
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).map_err(|e| e.to_string())?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace root found above the current directory \
+                        (pass --root <dir>)"
+                .to_string());
+        }
+    }
+}

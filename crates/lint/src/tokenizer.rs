@@ -1,0 +1,440 @@
+//! A lightweight Rust lexer: just enough token structure for the rule
+//! engine, with exact `line:col` positions.
+//!
+//! This is deliberately *not* a parser. The rules in this crate match
+//! short token sequences (`.` `unwrap` `(`, `use` `rand`, `#` `[`
+//! `cfg` `(` `test` `)` `]`), so a flat token stream with comments
+//! split out is the right altitude: it is immune to formatting, never
+//! matches inside string literals or doc examples, and lexes the whole
+//! workspace in milliseconds.
+//!
+//! What it understands beyond the obvious:
+//!
+//! * line (`//`) and nested block (`/* /* */ */`) comments — captured
+//!   separately so the allow-directive scanner ([`crate::allow`]) can
+//!   read them, with doc comments (`///`, `//!`, `/**`, `/*!`) marked
+//!   as such (directives inside doc text are ignored);
+//! * string, raw-string (`r#"…"#`), byte-string, and char literals —
+//!   skipped as opaque [`TokKind::Literal`] tokens so a message like
+//!   `"never unwrap here"` cannot trip a rule;
+//! * lifetimes vs. char literals (`'a` vs. `'a'`);
+//! * numeric literals, including `0x…` prefixes and type suffixes,
+//!   without swallowing the `..` of a range like `0..self.len`.
+
+/// What kind of token this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unwrap`, `use`, `HashMap`).
+    Ident,
+    /// One punctuation character (`.`, `(`, `#`, …).
+    Punct(char),
+    /// String/char/numeric literal or lifetime; contents opaque.
+    Literal,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// Source text for identifiers; empty for literals.
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+}
+
+impl Tok {
+    /// True if this is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// One comment, captured for the allow-directive scanner.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Text after the `//` / `/*` opener (terminator excluded).
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// True for doc comments (`///`, `//!`, `/**`, `/*!`): those are
+    /// rendered documentation, never lint directives.
+    pub doc: bool,
+}
+
+/// A lexed source file: code tokens plus the comments between them.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    /// Peeks two characters ahead without consuming (clones the
+    /// iterator; cheap for `Chars`).
+    fn peek2(&mut self) -> Option<char> {
+        let mut ahead = self.chars.clone();
+        ahead.next();
+        ahead.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// constructs simply run to end of input.
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek2() == Some('/') => line_comment(&mut cur, &mut out, line),
+            '/' if cur.peek2() == Some('*') => block_comment(&mut cur, &mut out, line),
+            '"' => {
+                string_literal(&mut cur);
+                push_literal(&mut out, line, col);
+            }
+            '\'' => {
+                char_or_lifetime(&mut cur);
+                push_literal(&mut out, line, col);
+            }
+            'r' | 'b' if raw_or_byte_string(&mut cur) => push_literal(&mut out, line, col),
+            c if c.is_ascii_digit() => {
+                number(&mut cur);
+                push_literal(&mut out, line, col);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut text = String::new();
+                while let Some(c) = cur.peek() {
+                    if c.is_alphanumeric() || c == '_' {
+                        text.push(c);
+                        cur.bump();
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            c => {
+                cur.bump();
+                out.toks.push(Tok {
+                    kind: TokKind::Punct(c),
+                    text: String::new(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+fn push_literal(out: &mut Lexed, line: u32, col: u32) {
+    out.toks.push(Tok {
+        kind: TokKind::Literal,
+        text: String::new(),
+        line,
+        col,
+    });
+}
+
+fn line_comment(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    cur.bump();
+    cur.bump(); // the two slashes
+    let doc = matches!(cur.peek(), Some('/') | Some('!'));
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    out.comments.push(Comment { text, line, doc });
+}
+
+fn block_comment(cur: &mut Cursor, out: &mut Lexed, line: u32) {
+    cur.bump();
+    cur.bump(); // the `/*`
+    let doc = matches!(cur.peek(), Some('*') | Some('!'))
+        // `/**/` is an empty plain comment, not a doc comment.
+        && cur.peek2() != Some('/');
+    let mut text = String::new();
+    let mut depth = 1usize;
+    while let Some(c) = cur.peek() {
+        if c == '/' && cur.peek2() == Some('*') {
+            depth += 1;
+            cur.bump();
+            cur.bump();
+            text.push_str("/*");
+        } else if c == '*' && cur.peek2() == Some('/') {
+            cur.bump();
+            cur.bump();
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+            text.push_str("*/");
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    out.comments.push(Comment { text, line, doc });
+}
+
+/// Consumes a `"…"` literal (opening quote still pending).
+fn string_literal(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consumes a `'x'` char literal or a `'lifetime`, whichever this is.
+fn char_or_lifetime(cur: &mut Cursor) {
+    cur.bump(); // the quote
+    match cur.peek() {
+        Some(c) if c.is_alphabetic() || c == '_' => {
+            // `'a'` is a char, `'a` (no closing quote after the ident
+            // run) is a lifetime.
+            let mut ahead = cur.chars.clone();
+            let mut n = 0usize;
+            while matches!(ahead.peek(), Some(c) if c.is_alphanumeric() || *c == '_') {
+                ahead.next();
+                n += 1;
+            }
+            if n == 1 && ahead.peek() == Some(&'\'') {
+                cur.bump(); // the char
+                cur.bump(); // closing quote
+            } else {
+                // Lifetime: consume the ident run, no closing quote.
+                for _ in 0..n {
+                    cur.bump();
+                }
+            }
+        }
+        Some('\\') => {
+            cur.bump(); // backslash
+            cur.bump(); // escaped char (enough for \', \\, \n …)
+            // `\u{…}` / `\x..`: run to the closing quote.
+            while let Some(c) = cur.peek() {
+                cur.bump();
+                if c == '\'' {
+                    break;
+                }
+            }
+        }
+        _ => {
+            // `'('`-style single char (or EOF).
+            cur.bump();
+            if cur.peek() == Some('\'') {
+                cur.bump();
+            }
+        }
+    }
+}
+
+/// If the cursor sits on a raw/byte string prefix (`r"`, `r#`, `b"`,
+/// `br"`, `br#`), consumes the whole literal and returns true.
+/// Otherwise consumes nothing (the caller lexes an identifier).
+fn raw_or_byte_string(cur: &mut Cursor) -> bool {
+    let mut ahead = cur.chars.clone();
+    let first = ahead.next();
+    let mut prefix = 1usize;
+    let mut next = ahead.next();
+    if first == Some('b') && next == Some('r') {
+        prefix += 1;
+        next = ahead.next();
+    }
+    let raw = first == Some('r') || prefix == 2;
+    let mut hashes = 0usize;
+    while raw && next == Some('#') {
+        hashes += 1;
+        next = ahead.next();
+    }
+    if next != Some('"') || (!raw && hashes > 0) {
+        return false;
+    }
+    // Commit: consume prefix, hashes, and the quoted body.
+    for _ in 0..prefix + hashes + 1 {
+        cur.bump();
+    }
+    if raw {
+        // Runs to `"` followed by `hashes` `#`s; no escapes.
+        'body: while let Some(c) = cur.bump() {
+            if c == '"' {
+                let mut ahead = cur.chars.clone();
+                for _ in 0..hashes {
+                    if ahead.next() != Some('#') {
+                        continue 'body;
+                    }
+                }
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                break;
+            }
+        }
+    } else {
+        // `b"…"`: ordinary escape rules.
+        while let Some(c) = cur.bump() {
+            match c {
+                '\\' => {
+                    cur.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+    true
+}
+
+/// Consumes a numeric literal without swallowing range dots: after
+/// `0`, `..self` must stay three separate tokens.
+fn number(cur: &mut Cursor) {
+    cur.bump(); // first digit
+    loop {
+        match cur.peek() {
+            Some(c) if c.is_ascii_alphanumeric() || c == '_' => {
+                cur.bump();
+            }
+            Some('.') => {
+                // Only part of the number if a digit follows (`1.5`);
+                // `1..n` and `1.max(2)` stop here.
+                match cur.peek2() {
+                    Some(d) if d.is_ascii_digit() => {
+                        cur.bump();
+                    }
+                    _ => break,
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_their_contents() {
+        let src = r#"
+            let x = "unwrap() inside a string";
+            // unwrap() inside a comment
+            /* HashMap in /* a nested */ block */
+            y.unwrap();
+        "#;
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "x", "y", "unwrap"]);
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].text.contains("unwrap"));
+        assert!(lexed.comments[1].text.contains("nested"));
+    }
+
+    #[test]
+    fn doc_comments_are_marked() {
+        let lexed = lex("/// doc\n//! inner\n// plain\n/** block doc */\n/*! inner */\n/**/");
+        let doc: Vec<bool> = lexed.comments.iter().map(|c| c.doc).collect();
+        assert_eq!(doc, vec![true, true, false, true, true, false]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let ids = idents("fn f<'a>(x: &'a str) { let c = 'x'; let d = '\\n'; }");
+        assert!(ids.contains(&"str".to_string()));
+        assert!(ids.contains(&"let".to_string()));
+        // 'x' and '\n' became literals, 'a did not eat the following
+        // ident.
+        assert!(!ids.contains(&"x".to_string()) || ids.iter().filter(|s| *s == "x").count() == 1);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let ids = idents(r##"let s = r#"HashMap "quoted" unwrap"#; done();"##);
+        assert_eq!(ids, vec!["let", "s", "done"]);
+    }
+
+    #[test]
+    fn ranges_do_not_glue_identifiers() {
+        let ids = idents("for i in 0..self.links.len() {}");
+        assert!(ids.contains(&"self".to_string()));
+        assert!(ids.contains(&"links".to_string()));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let lexed = lex("a\n  bb");
+        assert_eq!((lexed.toks[0].line, lexed.toks[0].col), (1, 1));
+        assert_eq!((lexed.toks[1].line, lexed.toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let ids = idents(r#"let a = b"unwrap"; let b2 = br"expect"; rest"#);
+        assert_eq!(ids, vec!["let", "a", "let", "b2", "rest"]);
+    }
+}

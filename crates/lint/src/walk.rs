@@ -1,0 +1,50 @@
+//! Deterministic workspace traversal.
+//!
+//! Collects every `.rs` file under the workspace's `src/`, `tests/`,
+//! and `crates/` trees, skipping [`crate::config::SKIP_DIRS`]. Entries
+//! are sorted at every level so diagnostics come out in the same
+//! order on every filesystem — lint output is diffed in CI.
+
+use crate::config::SKIP_DIRS;
+use std::path::{Path, PathBuf};
+
+/// Collects all lintable source files under `root`, sorted.
+pub fn collect_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    for top in ["src", "tests", "benches", "crates"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_dir(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_dir(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect_dir(&path, files)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative, `/`-separated form of `path` for diagnostics.
+pub fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

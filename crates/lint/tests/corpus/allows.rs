@@ -1,0 +1,18 @@
+//@ lint-as: crates/core/src/receiver.rs
+fn justified(x: Option<u32>) -> u32 {
+    // cr-lint: allow(panic-discipline, reason = "fixture: invariant documented at the call site")
+    x.unwrap()
+}
+
+fn trailing(x: Option<u32>) -> u32 {
+    x.unwrap() // cr-lint: allow(panic-discipline, reason = "fixture: trailing-comment form")
+}
+
+// cr-lint: allow(panic-discipline, reason = "nothing below this line panics")
+fn stale() {}
+
+// cr-lint: allow(hash-collections)
+fn missing_reason() {}
+
+// cr-lint: deny(panic-discipline, reason = "no such directive")
+fn unknown_directive() {}

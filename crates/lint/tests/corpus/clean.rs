@@ -1,0 +1,9 @@
+//@ lint-as: crates/core/src/injector.rs
+use std::collections::BTreeMap;
+
+fn lookup(m: &BTreeMap<u32, u32>, k: u32) -> u32 {
+    let Some(v) = m.get(&k) else {
+        return 0;
+    };
+    *v
+}

@@ -1,0 +1,18 @@
+//@ lint-as: crates/sim/src/fixture.rs
+use std::collections::HashMap;
+
+fn count() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may model against hash collections (killmap.rs does).
+    use std::collections::HashSet;
+
+    #[test]
+    fn model() {
+        let _ = HashSet::<u32>::new();
+    }
+}

@@ -1,0 +1,13 @@
+//@ lint-as: crates/metrics/src/fixture.rs
+use serde::Serialize;
+use std::fmt;
+
+extern crate rand;
+
+mod local;
+// Uniform paths: a locally declared module is a legitimate root.
+pub use local::Thing;
+
+fn display(t: &local::Thing) -> String {
+    format!("{t:?}")
+}

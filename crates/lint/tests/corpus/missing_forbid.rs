@@ -1,0 +1,4 @@
+//@ lint-as: crates/traffic/src/lib.rs
+//! A crate root without the mandatory `#![forbid(unsafe_code)]`.
+
+pub fn noop() {}

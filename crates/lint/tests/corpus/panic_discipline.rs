@@ -1,0 +1,15 @@
+//@ lint-as: crates/core/src/network.rs
+fn hot(x: Option<u32>, y: Option<u32>) -> u32 {
+    let v = x.unwrap();
+    let w = y.expect("present");
+    if v > w {
+        panic!("inverted");
+    }
+    todo!()
+}
+
+/// Doc comments may say `unwrap` freely; `unwrap_or_else` is fallible
+/// handling, not a panic site.
+fn cold(x: Option<u32>) -> u32 {
+    x.unwrap_or_else(|| 0)
+}

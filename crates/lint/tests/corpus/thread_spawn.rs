@@ -1,0 +1,5 @@
+//@ lint-as: crates/experiments/src/fixture.rs
+fn fan_out() -> i32 {
+    let handle = std::thread::spawn(|| 1 + 1);
+    handle.join().unwrap_or(0)
+}

@@ -1,0 +1,8 @@
+//@ lint-as: crates/core/src/fixture.rs
+fn record(sink: &mut Sink, prng: &mut SimRng) {
+    // Drawing before the closure is fine: the value exists whether or
+    // not tracing is enabled.
+    let jitter = prng.next_u32();
+    sink.emit(|| Event::Kill { at: rng.next_u64() });
+    sink.emit(|| Event::Stall { at: jitter });
+}

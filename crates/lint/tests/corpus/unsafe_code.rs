@@ -1,0 +1,4 @@
+//@ lint-as: crates/topology/src/fixture.rs
+fn read_first(xs: &[u32]) -> u32 {
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,7 @@
+//@ lint-as: crates/router/src/fixture.rs
+use std::time::Instant;
+
+fn elapsed_nanos() -> u128 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos()
+}

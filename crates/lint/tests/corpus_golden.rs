@@ -1,0 +1,115 @@
+//! Golden tests over the fixture corpus.
+//!
+//! Every `tests/corpus/<name>.rs` fixture declares the workspace path
+//! it should be linted *as* in a first-line `//@ lint-as: <path>`
+//! header (rule scoping is path-based, and the corpus itself is
+//! excluded from workspace walks). Its findings, rendered in the human
+//! format, must match `tests/corpus/<name>.expected` byte for byte.
+//!
+//! To update the goldens after an intentional rule change:
+//!
+//! ```text
+//! CR_LINT_BLESS=1 cargo test -p cr-lint --test corpus_golden
+//! ```
+//!
+//! then review the `.expected` diff like any other code change.
+
+use cr_lint::config::FileContext;
+use cr_lint::diagnostics::{render_human, sort};
+use cr_lint::lint_file;
+use cr_lint::rules::RULES;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+/// Sorted fixture paths (`*.rs` under the corpus directory).
+fn fixtures() -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = fs::read_dir(corpus_dir())
+        .expect("corpus directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    out.sort();
+    assert!(!out.is_empty(), "corpus directory has no fixtures");
+    out
+}
+
+/// Lints one fixture under its pretend path, returning rendered
+/// findings.
+fn lint_fixture(path: &Path) -> String {
+    let src = fs::read_to_string(path).expect("readable fixture");
+    let header = src.lines().next().unwrap_or("");
+    let pretend = header
+        .strip_prefix("//@ lint-as:")
+        .map(str::trim)
+        .unwrap_or_else(|| panic!("{} is missing its `//@ lint-as: <path>` header", path.display()));
+    let ctx = FileContext::classify(pretend)
+        .unwrap_or_else(|| panic!("{}: unclassifiable lint-as path {pretend}", path.display()));
+    let mut diags = lint_file(&ctx, &src);
+    sort(&mut diags);
+    render_human(&diags)
+}
+
+#[test]
+fn corpus_matches_golden_expectations() {
+    let bless = std::env::var_os("CR_LINT_BLESS").is_some();
+    for path in fixtures() {
+        let got = lint_fixture(&path);
+        let expected_path = path.with_extension("expected");
+        if bless {
+            fs::write(&expected_path, &got).expect("writable golden file");
+            continue;
+        }
+        let want = fs::read_to_string(&expected_path).unwrap_or_else(|_| {
+            panic!(
+                "{} has no golden file; bless with CR_LINT_BLESS=1",
+                path.display()
+            )
+        });
+        assert_eq!(
+            got,
+            want,
+            "{} drifted from its golden file (re-bless with CR_LINT_BLESS=1 and review the diff)",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn corpus_covers_every_rule() {
+    let mut all = String::new();
+    for path in fixtures() {
+        all.push_str(&fs::read_to_string(path.with_extension("expected")).unwrap_or_default());
+    }
+    for rule in RULES {
+        assert!(
+            all.contains(&format!("[{rule}]")),
+            "no corpus fixture exercises rule `{rule}`"
+        );
+    }
+}
+
+#[test]
+fn corpus_has_a_clean_fixture_and_no_orphans() {
+    let mut saw_clean = false;
+    for path in fixtures() {
+        let expected = fs::read_to_string(path.with_extension("expected")).unwrap_or_default();
+        saw_clean |= expected.is_empty();
+    }
+    assert!(saw_clean, "corpus needs at least one clean (empty-golden) fixture");
+
+    // Every .expected file must belong to a fixture.
+    for entry in fs::read_dir(corpus_dir()).expect("corpus directory exists") {
+        let p = entry.expect("readable dir entry").path();
+        if p.extension().is_some_and(|e| e == "expected") {
+            assert!(
+                p.with_extension("rs").exists(),
+                "orphan golden file {} has no fixture",
+                p.display()
+            );
+        }
+    }
+}

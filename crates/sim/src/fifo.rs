@@ -149,6 +149,7 @@ impl<T> Extend<T> for Fifo<T> {
     fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
         for item in iter {
             if self.push(item).is_err() {
+                // cr-lint: allow(panic-discipline, reason = "documented contract of the std Extend trait impl, which cannot return an error; callers wanting fallible insertion are pointed at Fifo::push")
                 panic!("extend overflowed fifo capacity {}", self.capacity);
             }
         }

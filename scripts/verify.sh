@@ -5,7 +5,24 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Warnings are defects in CI: fail the build on any of them.
+export RUSTFLAGS="-D warnings"
+
 cargo build --release --offline --workspace
+
+# Static analysis: determinism, hermeticity, unsafe, panic- and
+# trace-discipline rules over every source file (DESIGN.md §9). Any
+# finding fails verification.
+lint_json="$(mktemp)"
+if ! ./target/release/cr-lint --json > "$lint_json"; then
+    echo "verify: FAIL — cr-lint found violations:" >&2
+    cat "$lint_json" >&2
+    rm -f "$lint_json"
+    exit 1
+fi
+rm -f "$lint_json"
+echo "verify: cr-lint clean"
+
 cargo test -q --offline --workspace
 
 # Parallel sweeps must be bit-identical to serial: diff the full

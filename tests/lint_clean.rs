@@ -1,0 +1,24 @@
+//! The workspace must lint clean.
+//!
+//! Companion to `tests/hermetic.rs`: that test guards the manifests,
+//! this one runs the full `cr-lint` rule set (determinism,
+//! hermeticity, unsafe, panic discipline, trace discipline) over every
+//! source file, in-process. `scripts/verify.sh` runs the same check
+//! via the CLI (`cargo run -p cr-lint -- --json`); this copy makes a
+//! plain `cargo test` catch violations too.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let diags = cr_lint::lint_workspace(root).expect("workspace sources are readable");
+    assert!(
+        diags.is_empty(),
+        "cr-lint found {} violation(s):\n{}",
+        diags.len(),
+        cr_lint::diagnostics::render_human(&diags)
+    );
+    let files = cr_lint::count_files(root).expect("workspace sources are readable");
+    assert!(files > 50, "lint walk looks broken: only {files} files found");
+}
