@@ -12,12 +12,34 @@
 //! The sweeps are bit-identical by construction (each point owns its
 //! seed), so the two configurations do identical work; any wall-clock
 //! difference is pure executor overhead or parallel speedup.
+//!
+//! # Idle-heavy scenarios
+//!
+//! The `idle_*` benchmarks measure the active-set scheduler against
+//! the dense reference stepper (`*_dense` variants) on workloads that
+//! are mostly dead air — exactly what cycle fast-forward was built
+//! for:
+//!
+//! * `idle_lowload_drain` — sparse trace-driven arrivals (one message
+//!   every ~1.5k cycles) drained to quiescence; almost every cycle is
+//!   skippable.
+//! * `idle_gap_fig11` — a Fig. 11-style hotspot burst under binary
+//!   exponential backoff; wall time is dominated by retransmission
+//!   gaps.
+//! * `idle_dead_fcr` — FCR on a torus with dead links and a sparse
+//!   trace; most of the fabric is permanently idle.
+//!
+//! Each pair runs the identical simulation (the twin-run tests prove
+//! byte-equality), so `cycles_per_sec(idle_x) / cycles_per_sec
+//! (idle_x_dense)` is the scheduler's speedup on that shape.
 
 use cr_bench::harness::Group;
-use cr_core::{ProtocolKind, RoutingKind};
+use cr_core::{Network, NetworkBuilder, ProtocolKind, RetransmitScheme, RoutingKind};
 use cr_experiments::{Scale, SweepRunner};
-use cr_sim::pool;
-use cr_traffic::{LengthDistribution, TrafficPattern};
+use cr_faults::FaultModel;
+use cr_sim::{pool, Cycle, NodeId, SimRng};
+use cr_topology::KAryNCube;
+use cr_traffic::{LengthDistribution, Trace, TraceEvent, TrafficPattern};
 
 /// Points per sweep: 2 VC counts x 4 loads.
 const VC_COUNTS: [usize; 2] = [1, 2];
@@ -53,6 +75,95 @@ fn sim_cycles(scale: Scale) -> u64 {
     (VC_COUNTS.len() * LOADS.len()) as u64 * (scale.warmup() + scale.cycles())
 }
 
+/// The three idle-heavy shapes (see the module docs).
+#[derive(Clone, Copy)]
+enum IdleCase {
+    LowLoadDrain,
+    GapFig11,
+    DeadFcr,
+}
+
+/// Builds the scenario's network with its messages queued/scheduled,
+/// ready to drain.
+fn idle_net(case: IdleCase) -> Network {
+    match case {
+        IdleCase::LowLoadDrain => {
+            let mut b = NetworkBuilder::new(KAryNCube::torus(8, 2));
+            b.routing(RoutingKind::Adaptive { vcs: 1 })
+                .protocol(ProtocolKind::Cr)
+                .warmup(0)
+                .seed(0x1D1E);
+            let mut net = b.build();
+            let events: Vec<TraceEvent> = (0..64u64)
+                .map(|k| TraceEvent {
+                    at: Cycle::new(k * 1_500),
+                    src: NodeId::new((k * 7 % 64) as u32),
+                    dst: NodeId::new((k * 7 % 64 + 13) as u32 % 64),
+                    length: 16,
+                })
+                .collect();
+            net.schedule_trace(&Trace::from_events(events));
+            net
+        }
+        IdleCase::GapFig11 => {
+            let mut b = NetworkBuilder::new(KAryNCube::torus(8, 2));
+            b.routing(RoutingKind::Adaptive { vcs: 1 })
+                .protocol(ProtocolKind::Cr)
+                .timeout(32)
+                .retransmit(RetransmitScheme::ExponentialBackoff {
+                    slot: 64,
+                    ceiling: 10,
+                })
+                .warmup(0)
+                .seed(110);
+            let mut net = b.build();
+            // A hotspot burst small enough that, once everyone is in
+            // backoff, the whole fabric goes quiet between retries.
+            for src in (4..64u32).step_by(4) {
+                net.send_message(NodeId::new(src), NodeId::new(0), 64);
+            }
+            net
+        }
+        IdleCase::DeadFcr => {
+            let mut b = NetworkBuilder::new(KAryNCube::torus(8, 2));
+            let topo = KAryNCube::torus(8, 2);
+            let mut faults = FaultModel::new();
+            faults
+                .kill_random_links_connected(&topo, 20, &mut SimRng::from_seed(0xFA))
+                .expect("fault plan must keep the network connected");
+            b.routing(RoutingKind::AdaptiveMisroute {
+                vcs: 1,
+                extra_hops: 6,
+            })
+            .protocol(ProtocolKind::Fcr)
+            .faults(faults)
+            .warmup(0)
+            .seed(0xFC);
+            let mut net = b.build();
+            let events: Vec<TraceEvent> = (0..32u64)
+                .map(|k| TraceEvent {
+                    at: Cycle::new(k * 500),
+                    src: NodeId::new((k * 11 % 64) as u32),
+                    dst: NodeId::new((k * 11 % 64 + 31) as u32 % 64),
+                    length: 16,
+                })
+                .collect();
+            net.schedule_trace(&Trace::from_events(events));
+            net
+        }
+    }
+}
+
+/// Drains the scenario to quiescence; returns the final cycle (the
+/// simulated-cycle count, since all idle nets start at cycle 0).
+fn run_idle(case: IdleCase, dense: bool) -> u64 {
+    let mut net = idle_net(case);
+    net.set_reference_stepper(dense);
+    let done = net.run_until_quiescent(2_000_000);
+    assert!(done, "idle scenario must drain");
+    net.now().as_u64()
+}
+
 fn main() {
     let jobs = pool::effective_jobs(None);
     let mut g = Group::new("sweep");
@@ -74,6 +185,22 @@ fn main() {
         sim_cycles(Scale::Quick),
         || run_sweep(jobs, Scale::Quick),
     );
+
+    // Idle-heavy active-vs-dense pairs. The simulated-cycle count is
+    // taken from a probe run; the twin-run equivalence tests guarantee
+    // the dense variant simulates the exact same cycles.
+    let idle = [
+        ("idle_lowload_drain", IdleCase::LowLoadDrain),
+        ("idle_gap_fig11", IdleCase::GapFig11),
+        ("idle_dead_fcr", IdleCase::DeadFcr),
+    ];
+    for (name, case) in idle {
+        let cycles = run_idle(case, false);
+        g.sample_size(10);
+        g.bench_cycles(name, cycles, || run_idle(case, false));
+        g.sample_size(5);
+        g.bench_cycles(&format!("{name}_dense"), cycles, || run_idle(case, true));
+    }
 
     g.finish();
 }

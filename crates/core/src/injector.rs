@@ -183,6 +183,24 @@ impl Injector {
         self.queue.is_empty() && self.current.is_none() && self.vulnerable.is_empty()
     }
 
+    /// True when [`Injector::step`] could do anything at all this
+    /// cycle: a worm is in hand (sending or backing off) or messages
+    /// are queued. `false` implies `step` is a no-op that draws no
+    /// RNG — the active-set scheduler's skip condition. (A drained
+    /// injector may still be step-inactive while vulnerable messages
+    /// await delivery confirmation; those need no cycles.)
+    pub fn has_step_work(&self) -> bool {
+        self.current.is_some() || !self.queue.is_empty()
+    }
+
+    /// The cycle a backing-off current worm resumes at, if the
+    /// injector is in backoff. Until then every `step` call
+    /// early-returns without touching the queue, so the scheduler may
+    /// fast-forward across the gap.
+    pub fn backoff_resume(&self) -> Option<Cycle> {
+        self.current.as_ref().and_then(|c| c.resume_at)
+    }
+
     /// PAD flits this message needs under the current protocol.
     fn pad_for(&self, msg: &PendingMessage) -> u32 {
         if self.ablations.disable_padding {

@@ -19,6 +19,20 @@
 //!    router; departing flits enter link pipelines or receivers, and
 //!    credits return upstream.
 //! 7. Bookkeeping: registry pruning and the deadlock watchdog.
+//!
+//! # Active-set scheduling
+//!
+//! By default the stepper is *sparse*: each phase walks only the
+//! components that can possibly do work this cycle, tracked in
+//! generation-stamped [`ActiveSet`]s (links with buffered flits,
+//! routers with occupancy or an open stall streak, injectors with a
+//! worm in hand or a queue), and the run loops *fast-forward* across
+//! stretches of cycles in which every phase is provably a no-op. The
+//! results are byte-identical to the dense reference stepper (every
+//! phase visits the active components in the same ascending order the
+//! dense sweep uses, and skipped components/cycles are proven
+//! side-effect-free — see DESIGN.md §10); the dense sweep stays
+//! reachable via [`Network::set_reference_stepper`].
 
 use crate::config::NetworkConfig;
 use crate::injector::{Injector, PendingMessage};
@@ -31,6 +45,7 @@ use cr_router::{
     Flit, LinkStallStreak, LinkStats, PortKind, RouteTarget, Router, RouterConfig,
     RoutingFunction, Traversal, WormId,
 };
+use cr_sim::sched::ActiveSet;
 use cr_sim::trace::{Event, KillCause, TraceSink, TraceStats};
 use cr_sim::{Cycle, MessageId, NodeId, PortId, SimRng, VcId};
 use cr_topology::Topology;
@@ -126,6 +141,37 @@ pub struct Network {
     deadlocked: bool,
     offered_load: f64,
     fault_rng: SimRng,
+
+    // --- active-set scheduler state (DESIGN.md §10) ---
+    //
+    // The sets are maintained by the shared mutation helpers whichever
+    // stepper is running, so they are always a superset of the truly
+    // active components; only the active phases drain them and drop
+    // the stale members. That keeps a dense->active switch mid-run
+    // legal.
+    /// Routers with buffered flits or an open stall streak.
+    router_set: ActiveSet,
+    /// Links with flits in flight or parked in the channel latches.
+    link_set: ActiveSet,
+    /// Injectors (flat id `node * inject_channels + channel`) with a
+    /// worm in hand or queued messages.
+    injector_set: ActiveSet,
+    /// `link_wake[link]` = earliest front-of-lane arrival estimate.
+    /// Min-updated on every push; may go stale-*early* after purges
+    /// (harmless: the link is rescanned and the wake recomputed) but
+    /// never stale-late, because pops only raise the true minimum.
+    link_wake: Vec<Cycle>,
+    /// Drained-set scratch shared by the active phases (sequential).
+    ids_scratch: Vec<u32>,
+    /// Flits in routers + links, maintained incrementally; the O(1)
+    /// backing of [`Network::flits_in_flight`].
+    live_flits: usize,
+    /// Injectors with queued, in-flight, or vulnerable messages —
+    /// the O(1) backing of the quiescence check.
+    undrained_injectors: usize,
+    /// `true` = run the dense reference stepper (every phase sweeps
+    /// every component, no fast-forward).
+    reference_stepper: bool,
 }
 
 impl std::fmt::Debug for Network {
@@ -260,6 +306,14 @@ impl Network {
         Network {
             latency: LatencyRecorder::new(warmup),
             throughput: ThroughputMeter::new(warmup, n),
+            router_set: ActiveSet::new(n),
+            link_set: ActiveSet::new(links.len()),
+            injector_set: ActiveSet::new(n * cfg.inject_channels),
+            link_wake: vec![Cycle::ZERO; links.len()],
+            ids_scratch: Vec::new(),
+            live_flits: 0,
+            undrained_injectors: 0,
+            reference_stepper: false,
             topo,
             routing,
             faults,
@@ -393,9 +447,110 @@ impl Network {
     }
 
     /// Flits currently buffered in routers or in flight on links.
+    /// O(1): maintained incrementally at every flit movement.
     pub fn flits_in_flight(&self) -> usize {
-        self.routers.iter().map(Router::total_occupancy).sum::<usize>()
-            + self.links.iter().map(|l| l.occupied).sum::<usize>()
+        debug_assert_eq!(
+            self.live_flits,
+            self.routers.iter().map(Router::total_occupancy).sum::<usize>()
+                + self.links.iter().map(|l| l.occupied).sum::<usize>(),
+            "incremental flit count diverged"
+        );
+        self.live_flits
+    }
+
+    /// Selects the stepper: `true` runs the dense reference sweep
+    /// (every phase walks every component, no cycle fast-forward),
+    /// `false` (the default) the active-set scheduler. The two are
+    /// byte-identical in every observable output; the dense path
+    /// exists as the equivalence baseline and may be switched on at
+    /// any point of a run (the active sets stay maintained while
+    /// dense-stepping, so switching back is also legal).
+    pub fn set_reference_stepper(&mut self, dense: bool) {
+        self.reference_stepper = dense;
+    }
+
+    /// `true` while the dense reference stepper is selected.
+    pub fn is_reference_stepper(&self) -> bool {
+        self.reference_stepper
+    }
+
+    /// All traffic drained: nothing buffered or in flight, nothing
+    /// scheduled, every injector empty. O(1) via the incremental
+    /// counters.
+    fn is_quiescent(&self) -> bool {
+        debug_assert_eq!(
+            self.undrained_injectors,
+            self.injectors
+                .iter()
+                .flatten()
+                .filter(|i| !i.is_drained())
+                .count(),
+            "incremental undrained-injector count diverged"
+        );
+        self.live_flits == 0 && self.scheduled.is_empty() && self.undrained_injectors == 0
+    }
+
+    /// Marks a router possibly-active (it gained a flit).
+    fn arm_router(&mut self, node: usize) {
+        self.router_set.insert(node as u32);
+    }
+
+    /// Marks an injector possibly-active (it gained work).
+    fn arm_injector(&mut self, node: usize, channel: usize) {
+        self.injector_set
+            .insert((node * self.cfg.inject_channels + channel) as u32);
+    }
+
+    /// Parks `flit` on link `li`'s lane `vc`, due at `arrive`, keeping
+    /// the link's active-set membership and wake estimate current.
+    fn push_onto_link(&mut self, li: usize, vc: VcId, arrive: Cycle, flit: Flit) {
+        self.links[li].lanes[vc.index()].push_back((arrive, flit));
+        self.links[li].occupied += 1;
+        if self.link_set.insert(li as u32) || arrive < self.link_wake[li] {
+            self.link_wake[li] = arrive;
+        }
+    }
+
+    /// [`Injector::enqueue`] keeping the undrained counter and the
+    /// active set current.
+    fn injector_enqueue(&mut self, node: usize, channel: usize, msg: PendingMessage) {
+        let was_drained = self.injectors[node][channel].is_drained();
+        self.injectors[node][channel].enqueue(msg);
+        if was_drained {
+            self.undrained_injectors += 1;
+        }
+        self.arm_injector(node, channel);
+    }
+
+    /// [`Injector::on_killed`] keeping the undrained counter and the
+    /// active set current (a backward kill can re-queue a vulnerable
+    /// message into an otherwise idle injector).
+    fn injector_on_killed(
+        &mut self,
+        node: usize,
+        channel: usize,
+        now: Cycle,
+        worm: WormId,
+    ) -> Option<(u32, Cycle)> {
+        let was_drained = self.injectors[node][channel].is_drained();
+        let retx = self.injectors[node][channel].on_killed(now, worm);
+        match (was_drained, self.injectors[node][channel].is_drained()) {
+            (true, false) => self.undrained_injectors += 1,
+            (false, true) => self.undrained_injectors -= 1,
+            _ => {}
+        }
+        self.arm_injector(node, channel);
+        retx
+    }
+
+    /// [`Injector::on_delivered`] keeping the undrained counter
+    /// current.
+    fn injector_on_delivered(&mut self, node: usize, channel: usize, message: MessageId) {
+        let was_drained = self.injectors[node][channel].is_drained();
+        self.injectors[node][channel].on_delivered(message);
+        if !was_drained && self.injectors[node][channel].is_drained() {
+            self.undrained_injectors -= 1;
+        }
     }
 
     /// `(node, channel)` of the injector that sent `message`, unless
@@ -449,7 +604,7 @@ impl Network {
         let encoded = (src.index() * self.cfg.inject_channels + channel) as u32;
         debug_assert_ne!(encoded, SOURCE_GONE);
         self.worm_sources.push(encoded);
-        self.injectors[src.index()][channel].enqueue(msg);
+        self.injector_enqueue(src.index(), channel, msg);
         self.counters.messages_generated += 1;
         id
     }
@@ -482,14 +637,25 @@ impl Network {
     pub fn step(&mut self) {
         let now = self.now;
 
-        self.phase_arrivals(now);
-        self.phase_tokens(now);
-        if let Some(threshold) = self.cfg.path_wide_threshold {
-            self.phase_path_wide(now, threshold);
+        if self.reference_stepper {
+            self.phase_arrivals_dense(now);
+            self.phase_tokens(now);
+            if let Some(threshold) = self.cfg.path_wide_threshold {
+                self.phase_path_wide_dense(now, threshold);
+            }
+            self.phase_traffic(now);
+            self.phase_injection_dense(now);
+            self.phase_route_and_traverse_dense(now);
+        } else {
+            self.phase_arrivals_active(now);
+            self.phase_tokens(now);
+            if let Some(threshold) = self.cfg.path_wide_threshold {
+                self.phase_path_wide_active(now, threshold);
+            }
+            self.phase_traffic(now);
+            self.phase_injection_active(now);
+            self.phase_route_and_traverse_active(now);
         }
-        self.phase_traffic(now);
-        self.phase_injection(now);
-        self.phase_route_and_traverse(now);
         self.phase_bookkeeping(now);
 
         self.now.tick();
@@ -498,9 +664,19 @@ impl Network {
     /// Runs for `cycles` cycles (stopping early on deadlock) and
     /// returns the report.
     pub fn run(&mut self, cycles: u64) -> SimReport {
-        for _ in 0..cycles {
+        let end = Cycle::new(self.now.as_u64().saturating_add(cycles));
+        while self.now < end {
             if self.deadlocked {
                 break;
+            }
+            if !self.reference_stepper {
+                // Skip stretches of provably idle cycles. Jumping to
+                // `end` exactly matches the dense stepper ticking
+                // no-op cycles until the loop bound.
+                self.fast_forward(end);
+                if self.now >= end {
+                    break;
+                }
             }
             self.step();
         }
@@ -509,21 +685,25 @@ impl Network {
 
     /// Runs until all traffic has drained (sources willing, injectors
     /// empty, network empty) or `max_cycles` elapse; returns `true` if
-    /// quiescent.
+    /// quiescent. O(1) per cycle: the drain condition reads the
+    /// incrementally maintained counters.
     pub fn run_until_quiescent(&mut self, max_cycles: u64) -> bool {
-        for _ in 0..max_cycles {
+        let end = Cycle::new(self.now.as_u64().saturating_add(max_cycles));
+        while self.now < end {
             if self.deadlocked {
                 return false;
             }
-            if self.flits_in_flight() == 0
-                && self.scheduled.is_empty()
-                && self
-                    .injectors
-                    .iter()
-                    .flatten()
-                    .all(|i| i.is_drained())
-            {
+            if self.is_quiescent() {
                 return true;
+            }
+            if !self.reference_stepper {
+                // The quiescence predicate cannot change across
+                // skipped cycles (they are no-ops), so checking once
+                // before the jump matches the dense per-cycle check.
+                self.fast_forward(end);
+                if self.now >= end {
+                    break;
+                }
             }
             self.step();
         }
@@ -601,11 +781,58 @@ impl Network {
     // Phases
     // ------------------------------------------------------------------
 
-    fn phase_arrivals(&mut self, now: Cycle) {
+    /// Dense arrivals: sweep every link (skipping empty ones — a pure
+    /// data check, not scheduling).
+    fn phase_arrivals_dense(&mut self, now: Cycle) {
         for li in 0..self.links.len() {
             if self.links[li].occupied == 0 {
                 continue;
             }
+            self.scan_link_arrivals(now, li);
+        }
+    }
+
+    /// Active arrivals: only links in the active set, ascending (the
+    /// dense sweep order), and only when a flit can actually be due
+    /// (`link_wake <= now`). Links drained empty leave the set; the
+    /// rest re-arm with a freshly computed wake.
+    fn phase_arrivals_active(&mut self, now: Cycle) {
+        let mut ids = std::mem::take(&mut self.ids_scratch);
+        ids.clear();
+        self.link_set.drain_sorted_into(&mut ids);
+        for &li32 in &ids {
+            let li = li32 as usize;
+            if self.links[li].occupied == 0 {
+                continue; // purged empty since it was armed
+            }
+            if self.link_wake[li] > now {
+                // Nothing due yet; the dense scan would peek every
+                // lane and break immediately.
+                self.link_set.insert(li32);
+                continue;
+            }
+            self.scan_link_arrivals(now, li);
+            if self.links[li].occupied > 0 {
+                if let Some(wake) = self
+                    .links[li]
+                    .lanes
+                    .iter()
+                    .filter_map(|lane| lane.front().map(|&(arrive, _)| arrive))
+                    .min()
+                {
+                    self.link_wake[li] = wake;
+                }
+                self.link_set.insert(li32);
+            }
+        }
+        self.ids_scratch = ids;
+    }
+
+    /// Delivers every due flit of link `li` into its downstream
+    /// router: fault injection, killed-worm filtering, corruption
+    /// detection, then acceptance. Shared by both steppers.
+    fn scan_link_arrivals(&mut self, now: Cycle, li: usize) {
+        {
             let (dst_node, dst_port) = self.link_head[li];
             for v in 0..self.links[li].lanes.len() {
                 let vc = VcId::new(v as u8);
@@ -648,6 +875,7 @@ impl Network {
                     // peek and here touches the registry.
                     if killed {
                         self.counters.flits_dropped_killed += 1;
+                        self.live_flits -= 1;
                         self.credit_into(dst_node, dst_port, vc);
                         continue;
                     }
@@ -655,6 +883,7 @@ impl Network {
                     if flit.corrupted && self.cfg.protocol.detects_faults() {
                         if self.faults.detects_corruption(&mut self.fault_rng) {
                             self.counters.flits_dropped_killed += 1;
+                            self.live_flits -= 1;
                             self.credit_into(dst_node, dst_port, vc);
                             let worm = flit.worm;
                             self.trace.emit(|| Event::CorruptionDetected {
@@ -677,6 +906,7 @@ impl Network {
                     }
 
                     self.routers[dst_node].accept(now, dst_port, vc, flit);
+                    self.arm_router(dst_node);
                     self.last_progress = now;
                 }
             }
@@ -698,6 +928,7 @@ impl Network {
         lane.retain(|(_, f)| f.worm != worm);
         let purged = before - lane.len();
         self.links[li].occupied -= purged;
+        self.live_flits -= purged;
         for _ in 0..purged {
             self.counters.flits_dropped_killed += 1;
             self.routers[up_node].add_credit(up_out, vc);
@@ -705,6 +936,11 @@ impl Network {
     }
 
     fn phase_tokens(&mut self, now: Cycle) {
+        if self.fwd_tokens.is_empty() && self.bwd_tokens.is_empty() {
+            // Provably a no-op (both steppers): the walk loops run
+            // zero iterations and nothing else is touched.
+            return;
+        }
         if self.cfg.ablations.instant_teardown {
             // Idealized kill wire: complete every teardown walk within
             // the cycle. Each pass moves every token one hop; walks are
@@ -758,24 +994,41 @@ impl Network {
         }
     }
 
-    fn phase_path_wide(&mut self, now: Cycle, threshold: u64) {
-        let mut stalled = std::mem::take(&mut self.stall_scratch);
+    fn phase_path_wide_dense(&mut self, now: Cycle, threshold: u64) {
         for node in 0..self.routers.len() {
-            stalled.clear();
-            self.routers[node].stalled_worms_into(now, threshold, &mut stalled);
-            for k in 0..stalled.len() {
-                let (port, vc, worm) = stalled[k];
-                if self.killed.contains(worm) {
-                    continue;
-                }
-                self.counters.kills_path_wide += 1;
-                if let Some((sn, sc)) = self.source_of(worm.message) {
-                    if self.injectors[sn][sc].is_committed(worm) {
-                        self.counters.kills_committed += 1;
-                    }
-                }
-                self.kill_worm_at(now, node, port, vc, worm, KillCause::PathWide);
+            self.path_wide_one(now, threshold, node);
+        }
+    }
+
+    /// Active path-wide detection: a stalled worm needs a buffered
+    /// flit, so only routers in the active set can trigger. The set
+    /// is iterated sorted but *not* drained — the route/traverse
+    /// phase owns its drain-and-rebuild. Kills never insert routers,
+    /// so the membership is stable across the walk.
+    fn phase_path_wide_active(&mut self, now: Cycle, threshold: u64) {
+        self.router_set.sort();
+        for k in 0..self.router_set.len() {
+            let node = self.router_set.get(k) as usize;
+            self.path_wide_one(now, threshold, node);
+        }
+    }
+
+    fn path_wide_one(&mut self, now: Cycle, threshold: u64, node: usize) {
+        let mut stalled = std::mem::take(&mut self.stall_scratch);
+        stalled.clear();
+        self.routers[node].stalled_worms_into(now, threshold, &mut stalled);
+        for k in 0..stalled.len() {
+            let (port, vc, worm) = stalled[k];
+            if self.killed.contains(worm) {
+                continue;
             }
+            self.counters.kills_path_wide += 1;
+            if let Some((sn, sc)) = self.source_of(worm.message) {
+                if self.injectors[sn][sc].is_committed(worm) {
+                    self.counters.kills_committed += 1;
+                }
+            }
+            self.kill_worm_at(now, node, port, vc, worm, KillCause::PathWide);
         }
         self.stall_scratch = stalled;
     }
@@ -801,174 +1054,358 @@ impl Network {
         let _ = now;
     }
 
-    fn phase_injection(&mut self, now: Cycle) {
+    fn phase_injection_dense(&mut self, now: Cycle) {
         for n in 0..self.routers.len() {
             for c in 0..self.cfg.inject_channels {
-                let out = self.injectors[n][c].step(now, &mut self.routers[n]);
-                if out.injected_flit {
-                    self.last_progress = now;
-                    if out.injected_pad {
-                        self.counters.pad_flits_injected += 1;
-                    } else {
-                        self.counters.payload_flits_injected += 1;
-                    }
-                }
-                if out.restarted {
-                    self.counters.retransmissions += 1;
-                }
-                if let Some((worm, dst)) = out.started {
-                    self.trace.emit(|| Event::Inject {
-                        at: now,
-                        src: NodeId::new(n as u32),
-                        dst,
-                        message: worm.message,
-                        attempt: worm.attempt,
-                    });
-                }
-                if let Some(worm) = out.committed {
-                    self.trace.emit(|| Event::Commit {
-                        at: now,
-                        src: NodeId::new(n as u32),
-                        message: worm.message,
-                        attempt: worm.attempt,
-                    });
-                }
-                if let Some(worm) = out.kill {
-                    self.counters.kills_source_timeout += 1;
-                    let port = self.routers[n].inject_port(c);
-                    self.kill_worm_at(now, n, port, VcId::new(0), worm, KillCause::SourceTimeout);
-                    let retx = self.injectors[n][c].on_killed(now, worm);
-                    self.emit_retransmit(now, worm.message, retx);
-                }
+                self.step_injector_one(now, n, c);
             }
         }
     }
 
-    fn phase_route_and_traverse(&mut self, now: Cycle) {
+    /// Active injection: only injectors with a worm in hand or a
+    /// queue, ascending flat id — identical to the dense (node,
+    /// channel) order. Every way an idle injector gains work (enqueue,
+    /// backward-kill re-queue) goes through an arming wrapper in an
+    /// earlier phase, so the set is complete when drained; in-phase
+    /// kills only concern the injector being stepped.
+    fn phase_injection_active(&mut self, now: Cycle) {
+        let chans = self.cfg.inject_channels;
+        let mut ids = std::mem::take(&mut self.ids_scratch);
+        ids.clear();
+        self.injector_set.drain_sorted_into(&mut ids);
+        for &id in &ids {
+            let (n, c) = (id as usize / chans, id as usize % chans);
+            self.step_injector_one(now, n, c);
+            if self.injectors[n][c].has_step_work() {
+                self.injector_set.insert(id);
+            }
+        }
+        self.ids_scratch = ids;
+    }
+
+    /// One injector's cycle, with all the network-side bookkeeping.
+    /// `step` is a no-op that draws no RNG whenever
+    /// [`Injector::has_step_work`] is false — the skip condition.
+    fn step_injector_one(&mut self, now: Cycle, n: usize, c: usize) {
+        let out = self.injectors[n][c].step(now, &mut self.routers[n]);
+        if out.injected_flit {
+            self.last_progress = now;
+            self.live_flits += 1;
+            self.arm_router(n);
+            if out.injected_pad {
+                self.counters.pad_flits_injected += 1;
+            } else {
+                self.counters.payload_flits_injected += 1;
+            }
+        }
+        if out.restarted {
+            self.counters.retransmissions += 1;
+        }
+        if let Some((worm, dst)) = out.started {
+            self.trace.emit(|| Event::Inject {
+                at: now,
+                src: NodeId::new(n as u32),
+                dst,
+                message: worm.message,
+                attempt: worm.attempt,
+            });
+        }
+        if let Some(worm) = out.committed {
+            self.trace.emit(|| Event::Commit {
+                at: now,
+                src: NodeId::new(n as u32),
+                message: worm.message,
+                attempt: worm.attempt,
+            });
+        }
+        if let Some(worm) = out.kill {
+            self.counters.kills_source_timeout += 1;
+            let port = self.routers[n].inject_port(c);
+            self.kill_worm_at(now, n, port, VcId::new(0), worm, KillCause::SourceTimeout);
+            let retx = self.injector_on_killed(n, c, now, worm);
+            self.emit_retransmit(now, worm.message, retx);
+        }
+    }
+
+    fn phase_route_and_traverse_dense(&mut self, now: Cycle) {
+        for n in 0..self.routers.len() {
+            self.route_one(now, n);
+        }
+        for n in 0..self.routers.len() {
+            self.orphan_credits_one(n);
+        }
+        for n in 0..self.routers.len() {
+            self.traverse_one(now, n);
+        }
+        // Finished link-stall streaks become LinkStall events. The
+        // routers only record streaks while tracing (the per-cause
+        // counters are always on), so this drain is trace-gated too.
+        if self.trace.enabled() {
+            for n in 0..self.routers.len() {
+                self.drain_streaks_one(n);
+            }
+        }
+    }
+
+    /// Active route/traverse: drain-and-rebuild over the router set.
+    /// The four sub-stages keep the dense phase barriers (all routing
+    /// completes before any orphan credit returns, all credits before
+    /// any traversal), each walking the same member list ascending —
+    /// so per-router RNG state, upstream credit interleaving and
+    /// trace-event order match the dense sweep exactly. Routers not
+    /// in the set are empty with no open streaks, for which every
+    /// sub-stage is a no-op that draws no RNG. Nothing in this phase
+    /// arms a router, so the drained list is complete.
+    fn phase_route_and_traverse_active(&mut self, now: Cycle) {
+        let mut ids = std::mem::take(&mut self.ids_scratch);
+        ids.clear();
+        self.router_set.drain_sorted_into(&mut ids);
+        for &n in &ids {
+            self.route_one(now, n as usize);
+        }
+        for &n in &ids {
+            self.orphan_credits_one(n as usize);
+        }
+        for &n in &ids {
+            self.traverse_one(now, n as usize);
+        }
+        if self.trace.enabled() {
+            for &n in &ids {
+                self.drain_streaks_one(n as usize);
+            }
+        }
+        for &n in &ids {
+            let r = &self.routers[n as usize];
+            if r.total_occupancy() > 0 || r.has_open_streaks() {
+                self.router_set.insert(n);
+            }
+        }
+        self.ids_scratch = ids;
+    }
+
+    /// Routing/VC-allocation for one router; orphan drops leave the
+    /// network, so they come off the live-flit count.
+    fn route_one(&mut self, now: Cycle, n: usize) {
+        let killed = &self.killed;
+        let is_killed = |w: cr_router::WormId| killed.contains(w);
+        let orphans =
+            self.routers[n].route_and_allocate(now, &*self.routing, &*self.topo, &is_killed);
+        self.live_flits -= orphans;
+    }
+
+    /// Returns the upstream credits for one router's orphan drops.
+    fn orphan_credits_one(&mut self, n: usize) {
+        let orphans = self.routers[n].take_orphan_credits();
+        for (port, vc) in orphans {
+            self.credit_into(n, port, vc);
+        }
+    }
+
+    /// Switch traversal for one router: departing flits move onto
+    /// links (re-arming them) or into the receiver, credits return
+    /// upstream, deliveries retire messages.
+    fn traverse_one(&mut self, now: Cycle, n: usize) {
+        let mut traversals = std::mem::take(&mut self.traversal_scratch);
+        traversals.clear();
         {
             let killed = &self.killed;
             let is_killed = |w: cr_router::WormId| killed.contains(w);
-            let routers = &mut self.routers;
-            let routing = &*self.routing;
-            let topo = &*self.topo;
-            for r in routers.iter_mut() {
-                r.route_and_allocate(now, routing, topo, &is_killed);
-            }
+            self.routers[n].traverse_into(now, &is_killed, &mut traversals);
         }
-        for n in 0..self.routers.len() {
-            let orphans = self.routers[n].take_orphan_credits();
-            for (port, vc) in orphans {
-                self.credit_into(n, port, vc);
+        for k in 0..traversals.len() {
+            let t = traversals[k];
+            self.last_progress = now;
+            if self.routers[n].port_kind(t.from_port) == PortKind::Node {
+                self.credit_into(n, t.from_port, t.from_vc);
             }
-        }
-        let mut traversals = std::mem::take(&mut self.traversal_scratch);
-        for n in 0..self.routers.len() {
-            traversals.clear();
-            {
-                let killed = &self.killed;
-                let is_killed = |w: cr_router::WormId| killed.contains(w);
-                self.routers[n].traverse_into(now, &is_killed, &mut traversals);
-            }
-            for k in 0..traversals.len() {
-                let t = traversals[k];
-                self.last_progress = now;
-                if self.routers[n].port_kind(t.from_port) == PortKind::Node {
-                    self.credit_into(n, t.from_port, t.from_vc);
-                }
-                match t.target {
-                    RouteTarget::Link { port, vc } => {
-                        let Some(li) = self.out_link[n][port.index()] else {
-                            // Routing only offers connected ports;
-                            // stay loud in debug, drop defensively in
-                            // release rather than killing the sweep
-                            // worker.
-                            debug_assert!(false, "route to disconnected port");
-                            continue;
-                        };
-                        if now.as_u64() >= self.cfg.warmup {
-                            self.link_flits[li] += 1;
-                        }
-                        self.links[li].lanes[vc.index()]
-                            .push_back((now + self.cfg.channel_latency, t.flit));
-                        self.links[li].occupied += 1;
+            match t.target {
+                RouteTarget::Link { port, vc } => {
+                    let Some(li) = self.out_link[n][port.index()] else {
+                        // Routing only offers connected ports;
+                        // stay loud in debug, drop defensively in
+                        // release rather than killing the sweep
+                        // worker.
+                        debug_assert!(false, "route to disconnected port");
+                        continue;
+                    };
+                    if now.as_u64() >= self.cfg.warmup {
+                        self.link_flits[li] += 1;
                     }
-                    RouteTarget::Eject { .. } => {
-                        if self.killed.contains(t.flit.worm) {
-                            self.counters.flits_dropped_killed += 1;
-                            self.receivers[n].discard(t.flit.worm);
-                            continue;
+                    // Router -> link: net zero for the live count.
+                    self.push_onto_link(li, vc, now + self.cfg.channel_latency, t.flit);
+                }
+                RouteTarget::Eject { .. } => {
+                    // The flit left the fabric, whether delivered or
+                    // discarded below.
+                    self.live_flits -= 1;
+                    if self.killed.contains(t.flit.worm) {
+                        self.counters.flits_dropped_killed += 1;
+                        self.receivers[n].discard(t.flit.worm);
+                        continue;
+                    }
+                    let delivered = self.receivers[n].on_flit(now, t.flit);
+                    for m in delivered {
+                        self.counters.messages_delivered += 1;
+                        self.counters.payload_flits_delivered += u64::from(m.payload_len);
+                        if m.corrupt {
+                            self.counters.corrupt_payload_delivered += 1;
                         }
-                        let delivered = self.receivers[n].on_flit(now, t.flit);
-                        for m in delivered {
-                            self.counters.messages_delivered += 1;
-                            self.counters.payload_flits_delivered += u64::from(m.payload_len);
-                            if m.corrupt {
-                                self.counters.corrupt_payload_delivered += 1;
-                            }
-                            self.latency.record(m.created, now);
-                            self.throughput
-                                .record_flits(now, m.payload_len as usize);
-                            self.trace.emit(|| Event::Deliver {
-                                at: now,
-                                src: m.src,
-                                dst: m.dst,
-                                message: m.id,
-                                attempts: m.attempts,
-                                latency: now.saturating_since(m.created),
-                            });
-                            if let Some((sn, sc)) = self.source_of(m.id) {
-                                self.worm_sources[m.id.as_u64() as usize] = SOURCE_GONE;
-                                self.injectors[sn][sc].on_delivered(m.id);
-                            }
-                            if self.record_deliveries {
-                                self.delivery_log.push(m);
-                            }
+                        self.latency.record(m.created, now);
+                        self.throughput
+                            .record_flits(now, m.payload_len as usize);
+                        self.trace.emit(|| Event::Deliver {
+                            at: now,
+                            src: m.src,
+                            dst: m.dst,
+                            message: m.id,
+                            attempts: m.attempts,
+                            latency: now.saturating_since(m.created),
+                        });
+                        if let Some((sn, sc)) = self.source_of(m.id) {
+                            self.worm_sources[m.id.as_u64() as usize] = SOURCE_GONE;
+                            self.injector_on_delivered(sn, sc, m.id);
+                        }
+                        if self.record_deliveries {
+                            self.delivery_log.push(m);
                         }
                     }
                 }
             }
         }
         self.traversal_scratch = traversals;
+    }
 
-        // Finished link-stall streaks become LinkStall events. The
-        // routers only record streaks while tracing (the per-cause
-        // counters are always on), so this drain is trace-gated too.
-        if self.trace.enabled() {
-            let mut streaks = std::mem::take(&mut self.streak_scratch);
-            for n in 0..self.routers.len() {
-                streaks.clear();
-                self.routers[n].drain_streaks_into(&mut streaks);
-                for s in &streaks {
-                    if let Some(li) = self.out_link[n][s.port.index()] {
-                        let link = self.link_ids[li];
-                        self.trace.emit(|| Event::LinkStall {
-                            at: s.since,
-                            link,
-                            cause: s.cause,
-                            cycles: s.cycles,
-                        });
-                    }
-                }
+    /// Converts one router's finished stall streaks into `LinkStall`
+    /// trace events (only called while tracing).
+    fn drain_streaks_one(&mut self, n: usize) {
+        let mut streaks = std::mem::take(&mut self.streak_scratch);
+        streaks.clear();
+        self.routers[n].drain_streaks_into(&mut streaks);
+        for s in &streaks {
+            if let Some(li) = self.out_link[n][s.port.index()] {
+                let link = self.link_ids[li];
+                self.trace.emit(|| Event::LinkStall {
+                    at: s.since,
+                    link,
+                    cause: s.cause,
+                    cycles: s.cycles,
+                });
             }
-            self.streak_scratch = streaks;
         }
+        self.streak_scratch = streaks;
     }
 
     fn phase_bookkeeping(&mut self, now: Cycle) {
         if now.as_u64().is_multiple_of(256) {
-            let lifetime = self.registry_lifetime;
-            self.killed
-                .retain(|t| now.saturating_since(t) < lifetime);
-            let horizon = Cycle::new(now.as_u64().saturating_sub(4 * lifetime));
-            for rx in &mut self.receivers {
-                rx.prune(horizon);
-            }
+            self.prune_registries(now);
         }
         if now.saturating_since(self.last_progress) > self.cfg.deadlock_threshold
             && self.flits_in_flight() > 0
         {
             self.deadlocked = true;
         }
+    }
+
+    /// Expires old killed-registry and receiver bookkeeping as of
+    /// cycle `now`. Both prunes are monotone in `now` (an entry
+    /// removed at `t` is removed at every `t' > t`), so one catch-up
+    /// call at the last skipped prune cycle is equivalent to the
+    /// dense stepper's sequence of prunes — the fast-forward path
+    /// relies on exactly that.
+    fn prune_registries(&mut self, now: Cycle) {
+        let lifetime = self.registry_lifetime;
+        self.killed
+            .retain(|t| now.saturating_since(t) < lifetime);
+        let horizon = Cycle::new(now.as_u64().saturating_sub(4 * lifetime));
+        for rx in &mut self.receivers {
+            rx.prune(horizon);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cycle fast-forward
+    // ------------------------------------------------------------------
+
+    /// Jumps `now` to the earliest cycle at which anything can happen
+    /// (clamped to `end`), when — and only when — every cycle in
+    /// between is provably identical to a dense no-op step:
+    ///
+    /// * no traffic sources (each `poll` draws RNG every cycle);
+    /// * no teardown tokens in flight;
+    /// * every router in the active set is empty with no open stall
+    ///   streak (so routing/traversal do nothing and close no streak);
+    /// * every injector in the set is either stale or backing off
+    ///   with a future resume cycle (`step` early-returns untouched);
+    /// * every link in the set is empty or has no flit due yet.
+    ///
+    /// The jump target is the minimum of: the next scheduled traffic
+    /// event, the earliest retransmission-backoff resume, the
+    /// earliest link arrival, and — when flits are in flight — the
+    /// first cycle the deadlock watchdog could fire, so a deadlock is
+    /// declared at exactly the dense cycle. Skipped registry prunes
+    /// are replayed as one catch-up [`Network::prune_registries`].
+    fn fast_forward(&mut self, end: Cycle) {
+        if !self.sources.is_empty()
+            || !self.fwd_tokens.is_empty()
+            || !self.bwd_tokens.is_empty()
+        {
+            return;
+        }
+        let now = self.now;
+        let mut target = end;
+        for k in 0..self.router_set.len() {
+            let n = self.router_set.get(k) as usize;
+            if self.routers[n].total_occupancy() > 0 || self.routers[n].has_open_streaks() {
+                return;
+            }
+        }
+        let chans = self.cfg.inject_channels;
+        for k in 0..self.injector_set.len() {
+            let id = self.injector_set.get(k) as usize;
+            let inj = &self.injectors[id / chans][id % chans];
+            if !inj.has_step_work() {
+                continue; // stale entry
+            }
+            match inj.backoff_resume() {
+                Some(resume) if resume > now => target = target.min(resume),
+                _ => return, // sending or resuming now: must step
+            }
+        }
+        for k in 0..self.link_set.len() {
+            let li = self.link_set.get(k) as usize;
+            if self.links[li].occupied == 0 {
+                continue; // purged empty since it was armed
+            }
+            let wake = self.link_wake[li];
+            if wake <= now {
+                // Due (or a conservative stale-early estimate): step.
+                return;
+            }
+            target = target.min(wake);
+        }
+        if let Some(e) = self.scheduled.front() {
+            if e.at <= now {
+                return;
+            }
+            target = target.min(e.at);
+        }
+        if self.live_flits > 0 {
+            // First cycle at which `saturating_since(last_progress) >
+            // deadlock_threshold` holds — the watchdog must observe it.
+            target = target.min(self.last_progress + (self.cfg.deadlock_threshold + 1));
+        }
+        if target <= now {
+            return;
+        }
+        // Catch-up prune for the skipped cycles [now, target - 1]: the
+        // latest multiple-of-256 cycle in that range subsumes them all
+        // (prunes are monotone in `now`).
+        let last_skipped = target.as_u64() - 1;
+        let prune_at = last_skipped - (last_skipped % 256);
+        if prune_at >= now.as_u64() {
+            self.prune_registries(Cycle::new(prune_at));
+        }
+        self.now = target;
     }
 
     // ------------------------------------------------------------------
@@ -1032,7 +1469,7 @@ impl Network {
     fn continue_backward(&mut self, now: Cycle, t: Token) {
         if self.routers[t.node].port_kind(t.port) == PortKind::Inject {
             let channel = t.port.index() - self.topo.num_ports(NodeId::new(t.node as u32));
-            let retx = self.injectors[t.node][channel].on_killed(now, t.worm);
+            let retx = self.injector_on_killed(t.node, channel, now, t.worm);
             self.emit_retransmit(now, t.worm.message, retx);
             return;
         }
@@ -1061,7 +1498,7 @@ impl Network {
 
     fn notify_source(&mut self, now: Cycle, worm: WormId) {
         if let Some((sn, sc)) = self.source_of(worm.message) {
-            let retx = self.injectors[sn][sc].on_killed(now, worm);
+            let retx = self.injector_on_killed(sn, sc, now, worm);
             self.emit_retransmit(now, worm.message, retx);
         }
     }
@@ -1088,6 +1525,7 @@ impl Network {
         worm: WormId,
     ) -> Option<RouteTarget> {
         let res = self.routers[node].flush_worm(port, vc, worm);
+        self.live_flits -= res.flushed;
         if self.routers[node].port_kind(port) == PortKind::Node {
             for _ in 0..res.flushed {
                 self.credit_into(node, port, vc);

@@ -33,6 +33,7 @@ pub const PANIC_RULE_FILES: &[&str] = &[
     "crates/core/src/killmap.rs",
     "crates/router/src/router.rs",
     "crates/sim/src/fifo.rs",
+    "crates/sim/src/sched.rs",
     "crates/faults/src/lib.rs",
     "crates/experiments/src/harness.rs",
 ];

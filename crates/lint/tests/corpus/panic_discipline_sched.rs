@@ -1,0 +1,20 @@
+//@ lint-as: crates/sim/src/sched.rs
+// The active-set scheduler module is on every cycle's hot path, so
+// the panic-discipline rule must cover it like the other cycle-loop
+// files.
+fn drain(slot: Option<u32>) -> u32 {
+    slot.unwrap()
+}
+
+/// Asserts are fine (they state invariants, and the capacity check in
+/// `ActiveSet::new` is construction-time, not per-cycle); only the
+/// panicking escape hatches need justification.
+fn arm(capacity: usize) {
+    assert!(capacity > 0);
+    debug_assert!(capacity < 1 << 20);
+}
+
+fn rearm(id: Option<u32>) -> u32 {
+    // cr-lint: allow(panic-discipline, reason = "fixture: justified escape hatch")
+    id.expect("armed")
+}

@@ -256,6 +256,13 @@ pub struct Router {
     finished_streaks: Vec<LinkStallStreak>,
     /// Whether finished stall streaks are kept for the trace layer.
     record_streaks: bool,
+    /// Flits buffered across all input VCs, maintained incrementally
+    /// so [`Router::total_occupancy`] is O(1) — the active-set
+    /// scheduler and the quiescence check probe it every cycle.
+    occupancy: usize,
+    /// How many entries of `stall_open` are `Some` — O(1) answer to
+    /// [`Router::has_open_streaks`].
+    open_streaks: usize,
 }
 
 impl Router {
@@ -311,6 +318,8 @@ impl Router {
             stall_open: vec![None; cfg.num_node_ports],
             finished_streaks: Vec::new(),
             record_streaks: false,
+            occupancy: 0,
+            open_streaks: 0,
         }
     }
 
@@ -378,6 +387,7 @@ impl Router {
             .push(flit)
             // cr-lint: allow(panic-discipline, reason = "documented invariant: a full buffer here means upstream violated credit flow control, which is a simulator bug and must abort loudly, never a recoverable network state")
             .unwrap_or_else(|_| panic!("credit violation at {} {port} {vc}", self.node));
+        self.occupancy += 1;
     }
 
     /// Free space in injection channel `i`'s FIFO.
@@ -395,7 +405,11 @@ impl Router {
         if ivc.buf.is_empty() {
             ivc.last_progress = now;
         }
-        ivc.buf.push(flit).is_ok()
+        let ok = ivc.buf.push(flit).is_ok();
+        if ok {
+            self.occupancy += 1;
+        }
+        ok
     }
 
     /// Routing and virtual-channel allocation stage: every input VC
@@ -403,17 +417,23 @@ impl Router {
     /// an output VC (or an ejection port, at the destination).
     ///
     /// Iteration order rotates with `now` for fairness.
+    ///
+    /// Returns the number of orphan flits dropped this call (the
+    /// network subtracts them from its in-flight flit counter;
+    /// inject-port orphans produce no `orphan_credits` entry, so the
+    /// credit list cannot stand in for this count).
     pub fn route_and_allocate(
         &mut self,
         now: Cycle,
         routing: &dyn RoutingFunction,
         topo: &dyn Topology,
         is_killed: &dyn Fn(WormId) -> bool,
-    ) {
+    ) -> usize {
         let n = self.input_list.len();
         if n == 0 {
-            return;
+            return 0;
         }
+        let mut orphans_dropped = 0;
         let offset = (now.as_u64() as usize) % n;
         // The candidate scratch has to leave `self` for the loop body
         // to borrow the router mutably alongside it.
@@ -438,6 +458,8 @@ impl Router {
                     continue; // unreachable: front() just succeeded
                 };
                 debug_assert!(!f.is_head());
+                self.occupancy -= 1;
+                orphans_dropped += 1;
                 self.counters.orphan_flits_dropped += 1;
                 if p < self.cfg.num_node_ports {
                     self.orphan_credits
@@ -499,6 +521,7 @@ impl Router {
             }
         }
         self.candidates = candidates;
+        orphans_dropped
     }
 
     /// Switch-traversal stage: each output port and each ejection port
@@ -592,6 +615,7 @@ impl Router {
                 let Some(flit) = ivc.buf.pop() else {
                     continue; // unreachable: front() just succeeded
                 };
+                self.occupancy -= 1;
                 ivc.last_progress = now;
                 input_used[ip.index()] = true;
                 self.outputs[port][vc].credits -= 1;
@@ -616,6 +640,7 @@ impl Router {
             Self::note_link_cycle(
                 &mut self.link_stats[port],
                 &mut self.stall_open[port],
+                &mut self.open_streaks,
                 &mut self.finished_streaks,
                 self.record_streaks,
                 self.dead_out[port],
@@ -655,6 +680,7 @@ impl Router {
             let Some(flit) = ivc.buf.pop() else {
                 continue; // unreachable: front() just succeeded
             };
+            self.occupancy -= 1;
             ivc.last_progress = now;
             input_used[ip.index()] = true;
             if flit.is_tail() {
@@ -680,6 +706,7 @@ impl Router {
     fn note_link_cycle(
         stats: &mut LinkStats,
         open: &mut Option<(StallCause, Cycle, u64)>,
+        open_count: &mut usize,
         finished: &mut Vec<LinkStallStreak>,
         record: bool,
         dead: bool,
@@ -700,6 +727,7 @@ impl Router {
         let Some(cause) = cause else {
             // Forwarded or idle: any open streak is finished.
             if let Some((c, since, cycles)) = open.take() {
+                *open_count -= 1;
                 if record {
                     finished.push(LinkStallStreak {
                         port,
@@ -720,6 +748,7 @@ impl Router {
             Some((c, _, cycles)) if *c == cause => *cycles += 1,
             _ => {
                 if let Some((c, since, cycles)) = open.take() {
+                    *open_count -= 1;
                     if record {
                         finished.push(LinkStallStreak {
                             port,
@@ -730,6 +759,7 @@ impl Router {
                     }
                 }
                 *open = Some((cause, now, 1));
+                *open_count += 1;
             }
         }
     }
@@ -786,6 +816,7 @@ impl Router {
     pub fn flush_worm(&mut self, port: PortId, vc: VcId, worm: WormId) -> FlushResult {
         let ivc = &mut self.inputs[port.index()][vc.index()];
         let flushed = ivc.buf.retain(|f| f.worm != worm);
+        self.occupancy -= flushed;
         self.counters.flits_flushed += flushed as u64;
         let mut released = None;
         if ivc.worm == Some(worm) {
@@ -841,13 +872,34 @@ impl Router {
         self.inputs[port.index()][vc.index()].buf.front()
     }
 
-    /// Total flits buffered anywhere in this router.
+    /// Total flits buffered anywhere in this router. O(1): maintained
+    /// incrementally at every push/pop/flush site.
     pub fn total_occupancy(&self) -> usize {
-        self.inputs
-            .iter()
-            .flatten()
-            .map(|ivc| ivc.buf.len())
-            .sum()
+        debug_assert_eq!(
+            self.occupancy,
+            self.inputs
+                .iter()
+                .flatten()
+                .map(|ivc| ivc.buf.len())
+                .sum::<usize>(),
+            "incremental occupancy diverged at {}",
+            self.node
+        );
+        self.occupancy
+    }
+
+    /// `true` while any neighbor output port has an open (unfinished)
+    /// stall streak. The active-set scheduler must keep stepping such
+    /// a router — only [`Router::traverse_into`] can close the streak,
+    /// and closing it late would reorder `LinkStall` trace events.
+    pub fn has_open_streaks(&self) -> bool {
+        debug_assert_eq!(
+            self.open_streaks,
+            self.stall_open.iter().filter(|s| s.is_some()).count(),
+            "incremental open-streak count diverged at {}",
+            self.node
+        );
+        self.open_streaks > 0
     }
 
     /// Input VCs that hold a worm but have not forwarded a flit for at

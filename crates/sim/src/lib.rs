@@ -18,6 +18,8 @@
 //! * [`pool`] — a work-stealing task pool on scoped threads, used by
 //!   the experiment harness to run sweep points in parallel while
 //!   keeping results in submission order (bit-identical to serial).
+//! * [`sched`] — generation-stamped active sets ([`sched::ActiveSet`])
+//!   backing the network's skip-the-idle cycle scheduler.
 //! * [`trace`] — typed protocol events ([`trace::Event`]) behind a
 //!   bounded ring-buffer sink ([`trace::TraceSink`]) that is a no-op
 //!   when disabled; the observability layer of the protocol crates.
@@ -55,6 +57,7 @@ pub mod ids;
 pub mod json;
 pub mod pool;
 pub mod rng;
+pub mod sched;
 pub mod trace;
 
 pub use cycle::Cycle;

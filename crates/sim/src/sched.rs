@@ -1,0 +1,240 @@
+//! Generation-stamped active sets for the simulator's cycle scheduler.
+//!
+//! The network's active-set stepper (DESIGN.md §10) keeps one
+//! [`ActiveSet`] per component class — links, routers, injectors — so
+//! each cycle phase walks only the components that can possibly do
+//! work. The representation is the classic dense work-list pair:
+//!
+//! * a `Vec<u32>` **work-list** of member ids, and
+//! * a **generation-stamped membership array**: `stamp[id] == gen`
+//!   means `id` is in the set, so clearing the whole set is a single
+//!   generation bump with no per-slot writes.
+//!
+//! No hashing anywhere (the cr-lint `hash-collections` rule bans
+//! `HashMap`/`HashSet` on result paths), insertion is O(1) and
+//! duplicate-free, and iteration is over a **sorted** id list so the
+//! scheduler visits components in exactly the ascending order the
+//! dense reference stepper uses — which is what keeps shared-RNG draw
+//! order, and therefore every simulation result, byte-identical.
+//!
+//! The intended per-cycle usage is *drain-and-rebuild*: the phase that
+//! owns a set drains it sorted into a scratch list, processes each
+//! member, and re-inserts the ones that remain active. Members never
+//! removed in place means the work-list never holds duplicates and
+//! membership checks stay exact.
+//!
+//! # Examples
+//!
+//! ```
+//! use cr_sim::sched::ActiveSet;
+//!
+//! let mut set = ActiveSet::new(8);
+//! set.insert(5);
+//! set.insert(2);
+//! assert!(set.insert(5) == false, "already a member");
+//! assert!(set.contains(2));
+//!
+//! let mut scratch = Vec::new();
+//! set.drain_sorted_into(&mut scratch);
+//! assert_eq!(scratch, [2, 5]);
+//! assert!(set.is_empty());
+//! ```
+
+/// A dense set of component ids in `0..capacity`, with O(1) insert
+/// and membership test and sorted drain. See the module docs.
+#[derive(Debug, Clone)]
+pub struct ActiveSet {
+    /// Member ids, unordered until [`ActiveSet::sort`] /
+    /// [`ActiveSet::drain_sorted_into`].
+    live: Vec<u32>,
+    /// `stamp[id] == gen` marks membership.
+    stamp: Vec<u32>,
+    /// Current generation; never 0, so a zeroed stamp array means
+    /// "empty".
+    gen: u32,
+}
+
+impl ActiveSet {
+    /// Creates an empty set over ids `0..capacity`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` does not fit in `u32`.
+    pub fn new(capacity: usize) -> ActiveSet {
+        assert!(
+            u32::try_from(capacity).is_ok(),
+            "active-set ids must fit in u32"
+        );
+        ActiveSet {
+            live: Vec::new(),
+            stamp: vec![0; capacity],
+            gen: 1,
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// `true` when no component is active.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: u32) -> bool {
+        self.stamp[id as usize] == self.gen
+    }
+
+    /// Inserts `id`; returns `true` if it was not already a member.
+    pub fn insert(&mut self, id: u32) -> bool {
+        let slot = &mut self.stamp[id as usize];
+        if *slot == self.gen {
+            return false;
+        }
+        *slot = self.gen;
+        self.live.push(id);
+        true
+    }
+
+    /// Sorts the work-list ascending (members are kept).
+    pub fn sort(&mut self) {
+        self.live.sort_unstable();
+    }
+
+    /// The `k`-th member of the (possibly unsorted) work-list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= len()`.
+    pub fn get(&self, k: usize) -> u32 {
+        self.live[k]
+    }
+
+    /// Empties the set, appending its members to `out` in ascending id
+    /// order. The whole membership is invalidated by a generation
+    /// bump, so this is O(len log len) regardless of capacity.
+    pub fn drain_sorted_into(&mut self, out: &mut Vec<u32>) {
+        self.live.sort_unstable();
+        out.append(&mut self.live);
+        self.bump_gen();
+    }
+
+    /// Removes every member.
+    pub fn clear(&mut self) {
+        self.live.clear();
+        self.bump_gen();
+    }
+
+    fn bump_gen(&mut self) {
+        debug_assert!(self.live.is_empty());
+        // On the (4-billion-drain) wrap, rewind to a fully zeroed
+        // stamp array so no stale stamp can collide with a reused
+        // generation.
+        match self.gen.checked_add(1) {
+            Some(g) => self.gen = g,
+            None => {
+                self.stamp.fill(0);
+                self.gen = 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check::{check, Config};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_contains_drain_roundtrip() {
+        let mut s = ActiveSet::new(10);
+        assert!(s.is_empty());
+        assert!(s.insert(7));
+        assert!(s.insert(3));
+        assert!(s.insert(7) == false);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(3) && s.contains(7) && !s.contains(4));
+        let mut out = Vec::new();
+        s.drain_sorted_into(&mut out);
+        assert_eq!(out, [3, 7]);
+        assert!(s.is_empty() && !s.contains(3));
+        // Reusable after a drain.
+        assert!(s.insert(3));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn sort_and_get_expose_ascending_members() {
+        let mut s = ActiveSet::new(100);
+        for id in [42, 9, 77, 9, 0] {
+            s.insert(id);
+        }
+        s.sort();
+        let members: Vec<u32> = (0..s.len()).map(|k| s.get(k)).collect();
+        assert_eq!(members, [0, 9, 42, 77]);
+    }
+
+    #[test]
+    fn clear_resets_membership() {
+        let mut s = ActiveSet::new(4);
+        s.insert(1);
+        s.insert(2);
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(1));
+        assert!(s.insert(1));
+    }
+
+    #[test]
+    fn generation_wrap_rewinds_cleanly() {
+        let mut s = ActiveSet::new(3);
+        s.gen = u32::MAX;
+        s.insert(2);
+        let mut out = Vec::new();
+        s.drain_sorted_into(&mut out); // wraps
+        assert_eq!(out, [2]);
+        assert_eq!(s.gen, 1);
+        assert!(!s.contains(2), "stale stamps zeroed on wrap");
+        assert!(s.insert(2));
+    }
+
+    /// Model check against `BTreeSet`: arbitrary interleavings of
+    /// insert / contains / drain / clear agree with the reference
+    /// set semantics, and drains always come out sorted and unique.
+    #[test]
+    fn matches_reference_set_semantics() {
+        check("active_set_model", Config::cases(200), |src| {
+            let cap = src.usize_in(1..65);
+            let mut sut = ActiveSet::new(cap);
+            let mut model: BTreeSet<u32> = BTreeSet::new();
+            let steps = src.usize_in(0..81);
+            for _ in 0..steps {
+                match src.usize_in(0..10) {
+                    0..=5 => {
+                        let id = src.usize_in(0..cap) as u32;
+                        let fresh = sut.insert(id);
+                        assert_eq!(fresh, model.insert(id));
+                    }
+                    6..=7 => {
+                        let id = src.usize_in(0..cap) as u32;
+                        assert_eq!(sut.contains(id), model.contains(&id));
+                    }
+                    8 => {
+                        let mut out = Vec::new();
+                        sut.drain_sorted_into(&mut out);
+                        let expect: Vec<u32> = std::mem::take(&mut model).into_iter().collect();
+                        assert_eq!(out, expect, "drain is sorted + exact");
+                    }
+                    _ => {
+                        sut.clear();
+                        model.clear();
+                    }
+                }
+                assert_eq!(sut.len(), model.len());
+            }
+        });
+    }
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Compare a freshly measured BENCH_sweep.json against the committed
+# baseline and fail on any benchmark whose median-derived
+# cycles_per_sec regressed by more than 25%.
+#
+# Usage: scripts/bench_compare.sh [candidate_json] [baseline_json]
+#
+# Defaults: candidate = target/bench/BENCH_sweep.json (the last bench
+# run), baseline = BENCH_sweep.json (the committed repo-root
+# snapshot). Benchmarks present in only one file (newly added or
+# retired) are reported but do not fail the check; wall-clock noise is
+# absorbed by the generous threshold, which exists to catch scheduler
+# or executor regressions an order smaller than the ones the
+# active-set work targets.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+candidate="${1:-target/bench/BENCH_sweep.json}"
+baseline="${2:-BENCH_sweep.json}"
+threshold_pct=25
+
+for f in "$candidate" "$baseline"; do
+    if [ ! -f "$f" ]; then
+        echo "bench_compare: FAIL — missing $f" >&2
+        exit 1
+    fi
+done
+
+# The bench harness writes one key per line, so `name` /
+# `cycles_per_sec` pairs can be extracted without a JSON parser
+# (cycles_per_sec only ever appears inside a benchmark object).
+extract() {
+    awk '
+        /"name":/ { gsub(/[",]/, "", $2); name = $2 }
+        /"cycles_per_sec":/ { gsub(/,/, "", $2); print name, $2 }
+    ' "$1"
+}
+
+extract "$baseline" > /tmp/bench_baseline.$$
+extract "$candidate" > /tmp/bench_candidate.$$
+trap 'rm -f /tmp/bench_baseline.$$ /tmp/bench_candidate.$$' EXIT
+
+fail=0
+while read -r name base_cps; do
+    new_cps="$(awk -v n="$name" '$1 == n { print $2 }' /tmp/bench_candidate.$$)"
+    if [ -z "$new_cps" ]; then
+        echo "bench_compare: note — '$name' missing from candidate (retired?)"
+        continue
+    fi
+    if [ "$base_cps" -eq 0 ]; then
+        continue
+    fi
+    # Integer arithmetic: regress iff new < base * (100 - threshold) / 100.
+    floor=$(( base_cps * (100 - threshold_pct) / 100 ))
+    if [ "$new_cps" -lt "$floor" ]; then
+        echo "bench_compare: FAIL — '$name' cycles_per_sec regressed" \
+             "${base_cps} -> ${new_cps} (floor ${floor})" >&2
+        fail=1
+    else
+        echo "bench_compare: ok — '$name' ${base_cps} -> ${new_cps}"
+    fi
+done < /tmp/bench_baseline.$$
+
+while read -r name _; do
+    if ! awk -v n="$name" '$1 == n { found = 1 } END { exit !found }' /tmp/bench_baseline.$$; then
+        echo "bench_compare: note — '$name' is new (no baseline)"
+    fi
+done < /tmp/bench_candidate.$$
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "bench_compare: OK (no >${threshold_pct}% median cycles_per_sec regression)"

@@ -5,6 +5,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# --bench additionally runs a full-sample benchmark pass and fails on
+# a >25% median cycles_per_sec regression against the committed
+# BENCH_sweep.json (see scripts/bench_compare.sh).
+run_bench=0
+for arg in "$@"; do
+    case "$arg" in
+        --bench) run_bench=1 ;;
+        *) echo "verify: unknown flag '$arg' (supported: --bench)" >&2; exit 2 ;;
+    esac
+done
+
 # Warnings are defects in CI: fail the build on any of them.
 export RUSTFLAGS="-D warnings"
 
@@ -66,5 +77,13 @@ for field in '"group"' '"meta"' '"elapsed_ns"' '"jobs"' '"benchmarks"' \
     fi
 done
 echo "verify: $sweep_json regenerated and schema-checked"
+
+# Performance gate (opt-in: slow). Re-measure at full sample counts,
+# then demand no benchmark lost more than 25% of its baseline
+# cycles_per_sec.
+if [ "$run_bench" -eq 1 ]; then
+    cargo bench --offline -p cr-bench --bench sweep > /dev/null
+    ./scripts/bench_compare.sh
+fi
 
 echo "verify: OK"
