@@ -32,13 +32,24 @@
 //! Each pair runs the identical simulation (the twin-run tests prove
 //! byte-equality), so `cycles_per_sec(idle_x) / cycles_per_sec
 //! (idle_x_dense)` is the scheduler's speedup on that shape.
+//!
+//! # Large-topology family
+//!
+//! The `large_*` benchmarks stress the topology zoo at sizes the paper
+//! never ran — a 64×64 torus (4 096 nodes), a 16-ary fat-tree (320
+//! switches) and a 128-node full mesh (16 256 channels) — each built
+//! through the [`TopologyKind`] config axis and drained to quiescence
+//! under the active-set scheduler, which is what makes the 4 096-node
+//! point affordable at all. Sparse trace-driven arrivals keep the runs
+//! idle-heavy, so these entries track both large-fabric assembly cost
+//! and the scheduler's ability to fast-forward a mostly-dead network.
 
 use cr_bench::harness::Group;
 use cr_core::{Network, NetworkBuilder, ProtocolKind, RetransmitScheme, RoutingKind};
 use cr_experiments::{Scale, SweepRunner};
 use cr_faults::FaultModel;
 use cr_sim::{pool, Cycle, NodeId, SimRng};
-use cr_topology::KAryNCube;
+use cr_topology::{KAryNCube, TopologyKind};
 use cr_traffic::{LengthDistribution, Trace, TraceEvent, TrafficPattern};
 
 /// Points per sweep: 2 VC counts x 4 loads.
@@ -164,6 +175,70 @@ fn run_idle(case: IdleCase, dense: bool) -> u64 {
     net.now().as_u64()
 }
 
+/// The large-topology shapes (see the module docs).
+#[derive(Clone, Copy)]
+enum LargeCase {
+    /// 64×64 torus, 4 096 nodes, CR over minimal-adaptive routing.
+    Torus64,
+    /// 16-ary fat-tree, 320 switches, CR.
+    FatTree16,
+    /// 128-node full mesh running the zero-VC ordered-detour scheme.
+    FullMesh128,
+}
+
+impl LargeCase {
+    fn kind(self) -> TopologyKind {
+        match self {
+            LargeCase::Torus64 => TopologyKind::Torus { radix: 64, dims: 2 },
+            LargeCase::FatTree16 => TopologyKind::FatTree { k: 16 },
+            LargeCase::FullMesh128 => TopologyKind::FullMesh { nodes: 128 },
+        }
+    }
+}
+
+/// Builds the large fabric through the [`TopologyKind`] config axis
+/// with a sparse message trace scheduled, ready to drain.
+fn large_net(case: LargeCase) -> Network {
+    let kind = case.kind();
+    let mut b = NetworkBuilder::from_kind(&kind);
+    match case {
+        LargeCase::Torus64 | LargeCase::FatTree16 => {
+            b.routing(RoutingKind::Adaptive { vcs: 1 })
+                .protocol(ProtocolKind::Cr)
+        }
+        LargeCase::FullMesh128 => b
+            .routing(RoutingKind::FullMeshOrdered)
+            .protocol(ProtocolKind::Baseline),
+    }
+    .warmup(0)
+    .seed(0x1A2);
+    let mut net = b.build();
+    let n = kind.num_nodes() as u64;
+    // Sparse arrivals scattered across the fabric: mostly dead air, so
+    // the active-set scheduler (not raw stepping) carries the run.
+    let events: Vec<TraceEvent> = (0..48u64)
+        .map(|k| TraceEvent {
+            at: Cycle::new(k * 400),
+            src: NodeId::new((k.wrapping_mul(797) % n) as u32),
+            dst: NodeId::new(((k.wrapping_mul(2531) + n / 2 + 1) % n) as u32),
+            length: 16,
+        })
+        .filter(|e| e.src != e.dst)
+        .collect();
+    net.schedule_trace(&Trace::from_events(events));
+    net
+}
+
+/// Drains a large-topology scenario under the active-set scheduler;
+/// returns the final cycle.
+fn run_large(case: LargeCase) -> u64 {
+    let mut net = large_net(case);
+    net.set_reference_stepper(false);
+    let done = net.run_until_quiescent(2_000_000);
+    assert!(done, "large-topology scenario must drain");
+    net.now().as_u64()
+}
+
 fn main() {
     let jobs = pool::effective_jobs(None);
     let mut g = Group::new("sweep");
@@ -200,6 +275,20 @@ fn main() {
         g.bench_cycles(name, cycles, || run_idle(case, false));
         g.sample_size(5);
         g.bench_cycles(&format!("{name}_dense"), cycles, || run_idle(case, true));
+    }
+
+    // Large-topology family: zoo fabrics at sizes only the active-set
+    // scheduler makes affordable (the 64×64 torus is the acceptance
+    // point for PR 6's topology work).
+    let large = [
+        ("large_torus64_drain", LargeCase::Torus64),
+        ("large_fattree16_drain", LargeCase::FatTree16),
+        ("large_fullmesh128_drain", LargeCase::FullMesh128),
+    ];
+    for (name, case) in large {
+        let cycles = run_large(case);
+        g.sample_size(3);
+        g.bench_cycles(name, cycles, || run_large(case));
     }
 
     g.finish();

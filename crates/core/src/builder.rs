@@ -5,7 +5,7 @@ use crate::network::Network;
 use crate::retransmit::RetransmitScheme;
 use cr_faults::FaultModel;
 use cr_sim::{NodeId, SimRng};
-use cr_topology::{KAryNCube, Topology};
+use cr_topology::{KAryNCube, Topology, TopologyKind};
 use cr_traffic::{LengthDistribution, TrafficPattern, TrafficSource};
 
 /// Builder for [`Network`] (non-consuming, per the Rust API
@@ -34,7 +34,6 @@ use cr_traffic::{LengthDistribution, TrafficPattern, TrafficSource};
 #[derive(Debug)]
 pub struct NetworkBuilder {
     topo: Box<dyn Topology>,
-    torus: bool,
     cfg: NetworkConfig,
     faults: FaultModel,
     traffic: Option<(TrafficPattern, LengthDistribution, f64)>,
@@ -43,20 +42,24 @@ pub struct NetworkBuilder {
 impl NetworkBuilder {
     /// Starts a builder over `topology`.
     pub fn new<T: Topology + 'static>(topology: T) -> Self {
-        // Dimension-order routing needs to know whether wraparound
-        // channels exist; "torus" here means "any wraparound present".
-        let torus = (0..topology.num_nodes()).any(|i| {
-            let node = NodeId::new(i as u32);
-            (0..topology.num_ports(node))
-                .any(|p| topology.is_wraparound(node, cr_sim::PortId::new(p as u16)))
-        });
+        Self::new_boxed(Box::new(topology))
+    }
+
+    /// Starts a builder over an already-boxed topology (the form
+    /// [`TopologyKind::build`] produces).
+    pub fn new_boxed(topology: Box<dyn Topology>) -> Self {
         NetworkBuilder {
-            topo: Box::new(topology),
-            torus,
+            topo: topology,
             cfg: NetworkConfig::default(),
             faults: FaultModel::new(),
             traffic: None,
         }
+    }
+
+    /// Starts a builder over the topology described by `kind` — the
+    /// entry point for configs round-tripped through JSON.
+    pub fn from_kind(kind: &TopologyKind) -> Self {
+        Self::new_boxed(kind.build())
     }
 
     /// The paper's default testbed: an 8-ary 2-cube torus.
@@ -206,7 +209,7 @@ impl NetworkBuilder {
                 "path-wide kills require a CR protocol"
             );
         }
-        let routing = self.cfg.routing.build(self.torus);
+        let routing = self.cfg.routing.build(self.topo.as_ref());
         // The paper's timeout default needs the message length; apply
         // it here if traffic is attached and no explicit timeout given.
         if self.cfg.timeout.is_none() {

@@ -1,8 +1,11 @@
 //! Network configuration: protocol, routing and resource knobs.
 
 use crate::retransmit::RetransmitScheme;
-use cr_router::routing::{DimensionOrder, DuatoProtocol, MinimalAdaptive, PlanarAdaptive};
+use cr_router::routing::{
+    DimensionOrder, DuatoProtocol, FullMeshOrdered, MinimalAdaptive, PlanarAdaptive,
+};
 use cr_router::RoutingFunction;
+use cr_topology::Topology;
 
 /// Which end-to-end protocol the network interfaces run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,12 +73,33 @@ pub enum RoutingKind {
     /// deadlock-free with two virtual channels — the paper authors'
     /// earlier algorithm, as a third baseline.
     PlanarAdaptive,
+    /// Ordered-detour routing on diameter-1 (full-mesh) topologies:
+    /// deadlock-free with a single virtual channel and no kills — the
+    /// HOTI'25 zero-VC scheme CR is compared against.
+    FullMeshOrdered,
 }
 
 impl RoutingKind {
-    /// Instantiates the routing function for a torus (`torus = true`)
-    /// or mesh topology.
-    pub fn build(self, torus: bool) -> Box<dyn RoutingFunction> {
+    /// Instantiates the routing function for `topo`, consulting the
+    /// topology for whatever structure the algorithm needs (today:
+    /// whether wraparound channels demand the torus dateline
+    /// discipline).
+    pub fn build(self, topo: &dyn Topology) -> Box<dyn RoutingFunction> {
+        if self == RoutingKind::FullMeshOrdered {
+            assert_eq!(
+                topo.diameter(),
+                1,
+                "ordered-detour routing requires a diameter-1 topology, got {}",
+                topo.label()
+            );
+        }
+        self.build_with_wrap(topo.has_wraparound())
+    }
+
+    /// Instantiates the routing function given only whether the
+    /// topology has wraparound channels (`torus = true`). Prefer
+    /// [`RoutingKind::build`] when a topology is at hand.
+    pub fn build_with_wrap(self, torus: bool) -> Box<dyn RoutingFunction> {
         match self {
             RoutingKind::Dor { lanes } => {
                 if torus {
@@ -102,6 +126,7 @@ impl RoutingKind {
                 );
                 Box::new(PlanarAdaptive::new())
             }
+            RoutingKind::FullMeshOrdered => Box::new(FullMeshOrdered::new()),
         }
     }
 
@@ -109,6 +134,9 @@ impl RoutingKind {
     pub fn misroute_budget(self) -> u16 {
         match self {
             RoutingKind::AdaptiveMisroute { extra_hops, .. } => extra_hops,
+            // An ordered detour replaces the 1-hop direct path with a
+            // 2-hop one, so padding must budget one extra hop.
+            RoutingKind::FullMeshOrdered => 1,
             _ => 0,
         }
     }
@@ -214,7 +242,7 @@ impl NetworkConfig {
     /// Number of virtual channels per port implied by the routing
     /// choice.
     pub fn num_vcs(&self) -> usize {
-        self.routing.build(true).num_vcs()
+        self.routing.build_with_wrap(true).num_vcs()
     }
 
     /// The `I_min` commitment threshold for a path of `hops` hops:
@@ -263,11 +291,22 @@ mod tests {
 
     #[test]
     fn routing_vc_requirements() {
-        assert_eq!(RoutingKind::Adaptive { vcs: 1 }.build(true).num_vcs(), 1);
-        assert_eq!(RoutingKind::Dor { lanes: 1 }.build(true).num_vcs(), 2);
-        assert_eq!(RoutingKind::Dor { lanes: 1 }.build(false).num_vcs(), 1);
         assert_eq!(
-            RoutingKind::Duato { adaptive_vcs: 1 }.build(true).num_vcs(),
+            RoutingKind::Adaptive { vcs: 1 }.build_with_wrap(true).num_vcs(),
+            1
+        );
+        assert_eq!(
+            RoutingKind::Dor { lanes: 1 }.build_with_wrap(true).num_vcs(),
+            2
+        );
+        assert_eq!(
+            RoutingKind::Dor { lanes: 1 }.build_with_wrap(false).num_vcs(),
+            1
+        );
+        assert_eq!(
+            RoutingKind::Duato { adaptive_vcs: 1 }
+                .build_with_wrap(true)
+                .num_vcs(),
             3
         );
         assert_eq!(
@@ -278,6 +317,30 @@ mod tests {
             .misroute_budget(),
             4
         );
+        assert_eq!(RoutingKind::FullMeshOrdered.misroute_budget(), 1);
+        assert_eq!(
+            RoutingKind::FullMeshOrdered.build_with_wrap(false).num_vcs(),
+            1
+        );
+    }
+
+    #[test]
+    fn build_consults_the_topology_for_wraparound() {
+        use cr_topology::{FullMesh, KAryNCube};
+        // DOR picks the two-class dateline discipline on a torus and
+        // the single-class variant on a mesh — from the topology alone.
+        let torus = KAryNCube::torus(4, 2);
+        let mesh = KAryNCube::mesh(4, 2);
+        assert_eq!(RoutingKind::Dor { lanes: 1 }.build(&torus).num_vcs(), 2);
+        assert_eq!(RoutingKind::Dor { lanes: 1 }.build(&mesh).num_vcs(), 1);
+        assert_eq!(RoutingKind::FullMeshOrdered.build(&FullMesh::new(8)).num_vcs(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn ordered_detour_rejects_multi_hop_topologies() {
+        let torus = cr_topology::KAryNCube::torus(4, 2);
+        let _ = RoutingKind::FullMeshOrdered.build(&torus);
     }
 
     #[test]

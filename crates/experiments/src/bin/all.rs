@@ -4,7 +4,7 @@
 
 use cr_experiments::{
     ext_ablation, ext_distribution, ext_par, ext_nonuniform, fig09, fig10, fig11, fig12, fig14ab, fig14cd, fig14ef,
-    fig15, fig16, tab_hardware, tab_padding, tab_pds, Scale,
+    fig15, fig16, showdown, tab_hardware, tab_padding, tab_pds, Scale,
 };
 
 fn main() {
@@ -34,4 +34,5 @@ fn main() {
     run!(ext_ablation);
     run!(ext_nonuniform);
     run!(ext_par);
+    run!(showdown);
 }

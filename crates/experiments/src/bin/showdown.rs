@@ -1,0 +1,13 @@
+//! Prints the topology-zoo showdown: CR vs DOR vs the zero-VC
+//! ordered-detour scheme across torus, mesh, fat-tree and full mesh.
+//! Pass `--quick` or `--tiny` to shrink the run.
+
+use cr_experiments::{showdown, Scale};
+
+fn main() {
+    let cfg = showdown::Config {
+        scale: Scale::from_args(),
+        ..Default::default()
+    };
+    println!("{}", showdown::run(&cfg));
+}

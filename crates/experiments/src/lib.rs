@@ -25,6 +25,7 @@
 //! | [`ext_par`] | Extension — DOR vs planar-adaptive vs CR on the mesh |
 //! | [`tab_padding`] | Padding-overhead table — CR padding vs message length and network depth |
 //! | [`ext_nonuniform`] | Extension — CR vs DOR on non-uniform traffic |
+//! | [`showdown`] | Extension — topology-zoo showdown: CR vs DOR vs the zero-VC full-mesh scheme |
 //!
 //! # Examples
 //!
@@ -56,6 +57,7 @@ pub mod fig14ef;
 pub mod fig15;
 pub mod fig16;
 pub mod harness;
+pub mod showdown;
 pub mod tab_hardware;
 pub mod tab_padding;
 pub mod tab_pds;

@@ -37,6 +37,50 @@ fn sweep_reports(jobs: usize) -> Vec<String> {
     )
 }
 
+/// The topology-zoo showdown must be byte-identical under any job
+/// count too — it is the acceptance gate for the zoo's config axis.
+fn showdown_json(jobs: usize) -> String {
+    use cr_experiments::showdown;
+    use cr_topology::TopologyKind;
+    let scale = Scale::Tiny;
+    let mut points = Vec::new();
+    for kind in showdown::zoo(scale) {
+        for (scheme, routing, protocol) in showdown::schemes(kind) {
+            points.push((kind, scheme, routing, protocol));
+        }
+    }
+    let rows = SweepRunner::new(jobs).run(
+        points
+            .into_iter()
+            .map(|(kind, scheme, routing, protocol)| {
+                move || {
+                    let mut b = cr_core::NetworkBuilder::from_kind(&kind);
+                    b.routing(routing)
+                        .protocol(protocol)
+                        .warmup(scale.warmup())
+                        .traffic(TrafficPattern::Uniform, LengthDistribution::Fixed(8), 0.2)
+                        .seed(0xBEE);
+                    let mut net = b.build();
+                    let report = net.run(scale.cycles()).to_json().to_string();
+                    format!("{}/{scheme}: {report}", TopologyKind::label(&kind))
+                }
+            })
+            .collect(),
+    );
+    rows.join("\n")
+}
+
+#[test]
+fn showdown_zoo_is_byte_identical_under_parallelism() {
+    let serial = showdown_json(1);
+    let parallel = showdown_json(4);
+    assert!(serial == parallel, "zoo sweep differs across job counts");
+    // All four fabrics actually ran.
+    for label in ["torus", "mesh", "fat-tree", "full mesh"] {
+        assert!(serial.contains(label), "missing {label} rows");
+    }
+}
+
 #[test]
 fn parallel_sweep_is_byte_identical_to_serial() {
     let serial = sweep_reports(1);

@@ -21,6 +21,9 @@
 //! * [`routing::DuatoProtocol`] — adaptive virtual channels backed by a
 //!   dimension-order escape network; used to reproduce the paper's
 //!   estimate of how often *potential deadlock situations* arise.
+//! * [`routing::FullMeshOrdered`] — the HOTI'25 zero-virtual-channel
+//!   ordered-detour scheme for diameter-1 (full-mesh) topologies, CR's
+//!   modern competitor in the topology-zoo showdown.
 //!
 //! The [`Router`] itself is protocol-agnostic: kills, timeouts, padding
 //! and retransmission live one layer up (the `cr-core` crate), which
@@ -29,7 +32,7 @@
 //! [`Router::flush_worm`].
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod flit;
 pub mod router;
@@ -40,4 +43,7 @@ pub use router::{
     LinkStallStreak, LinkStats, PortKind, Router, RouterConfig, RouterCounters, RouteTarget,
     Traversal,
 };
-pub use routing::{DimensionOrder, DuatoProtocol, MinimalAdaptive, PlanarAdaptive, RouteCtx, RoutingFunction};
+pub use routing::{
+    DimensionOrder, DuatoProtocol, FullMeshOrdered, MinimalAdaptive, PlanarAdaptive, RouteCtx,
+    RoutingFunction,
+};

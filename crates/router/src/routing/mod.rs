@@ -9,11 +9,13 @@
 mod adaptive;
 mod dor;
 mod duato;
+mod fullmesh;
 mod par;
 
 pub use adaptive::MinimalAdaptive;
 pub use dor::DimensionOrder;
 pub use duato::DuatoProtocol;
+pub use fullmesh::FullMeshOrdered;
 pub use par::PlanarAdaptive;
 
 use crate::flit::Flit;

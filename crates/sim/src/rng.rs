@@ -8,7 +8,7 @@
 //! paper-figure harness trustworthy.
 //!
 //! The generator is backed by an in-repo ChaCha8 keystream
-//! ([`crate::chacha`]) — no external crates, fully specified output,
+//! (the private `chacha` module) — no external crates, fully specified output,
 //! identical on every platform. The first words of the stream are pinned
 //! by golden-value tests (`crates/sim/tests/rng_golden.rs`); see
 //! DESIGN.md "Determinism & RNG" for the policy on changing them.

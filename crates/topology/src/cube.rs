@@ -58,9 +58,15 @@ impl KAryNCube {
     fn new(radix: usize, dims: usize, wrap: bool) -> Self {
         assert!(radix >= 2, "radix must be at least 2, got {radix}");
         assert!(dims >= 1, "dims must be at least 1, got {dims}");
+        // checked_pow so an absurd shape fails loudly instead of
+        // wrapping in release builds before the size check fires.
+        let nodes = u32::try_from(dims)
+            .ok()
+            .and_then(|d| radix.checked_pow(d))
+            .filter(|&n| n <= u32::MAX as usize);
         assert!(
-            radix.pow(dims as u32) <= u32::MAX as usize,
-            "network too large"
+            nodes.is_some(),
+            "{radix}-ary {dims}-cube exceeds the u32 node-id space"
         );
         KAryNCube { radix, dims, wrap }
     }
@@ -373,6 +379,53 @@ mod tests {
     #[should_panic]
     fn radix_one_rejected() {
         let _ = KAryNCube::torus(1, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn overflowing_shape_rejected() {
+        // 4096^8 wraps usize arithmetic; must panic, not wrap.
+        let _ = KAryNCube::torus(4096, 8);
+    }
+
+    /// Spot-checks at the 64x64..256x256 scale the large-topology
+    /// benches run at; full O(n^2) invariants are far too slow here,
+    /// so exercise the rim and center where the arithmetic can break.
+    #[test]
+    fn large_tori_are_consistent() {
+        for radix in [64usize, 256] {
+            let t = KAryNCube::torus(radix, 2);
+            assert_eq!(t.num_nodes(), radix * radix);
+            assert_eq!(t.num_links(), radix * radix * 4);
+            assert_eq!(t.diameter(), radix); // radix/2 per dimension
+            let corner = t.node_at(&[0, 0]);
+            let far = t.node_at(&[radix / 2, radix / 2]);
+            assert_eq!(t.distance(corner, far), radix);
+            // Wraparound puts the opposite corner only 2 hops away.
+            let opposite = t.node_at(&[radix - 1, radix - 1]);
+            assert_eq!(t.distance(corner, opposite), 2);
+            assert_eq!(
+                t.minimal_ports(corner, opposite),
+                vec![PortId::new(1), PortId::new(3)]
+            );
+            assert!(t.is_wraparound(corner, PortId::new(1)));
+            // Link ids stay dense and in range at the top node.
+            let last = NodeId::new((t.num_nodes() - 1) as u32);
+            let max_link = t.link(last, PortId::new(3)).unwrap();
+            assert_eq!(max_link.index(), t.num_links() - 1);
+        }
+    }
+
+    #[test]
+    fn large_mesh_rim_has_no_wraparound() {
+        let m = KAryNCube::mesh(256, 2);
+        assert_eq!(m.num_links(), 2 * 2 * 255 * 256);
+        assert_eq!(m.diameter(), 2 * 255);
+        let corner = m.node_at(&[0, 0]);
+        assert_eq!(m.neighbor(corner, PortId::new(1)), None);
+        assert!(!m.is_wraparound(corner, PortId::new(1)));
+        let far = m.node_at(&[255, 255]);
+        assert_eq!(m.distance(corner, far), 510);
     }
 
     #[test]

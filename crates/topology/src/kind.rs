@@ -1,0 +1,183 @@
+//! Serializable topology selection — the config axis that names a
+//! generator and its parameters, round-trippable through the in-repo
+//! JSON codec.
+
+use crate::{FatTree, FullMesh, Hypercube, KAryNCube, Topology};
+use cr_sim::Json;
+
+/// A named, parameterized topology — the value experiments and sweep
+/// artifacts carry so a run's fabric can be reconstructed from its
+/// JSON output alone.
+///
+/// `TopologyKind` covers the closed set of *generated* topologies;
+/// arbitrary [`crate::GraphTopology`] instances have no compact
+/// parameterization and are deliberately outside it.
+///
+/// # Examples
+///
+/// ```
+/// use cr_topology::TopologyKind;
+///
+/// let kind = TopologyKind::FatTree { k: 4 };
+/// assert_eq!(kind.num_nodes(), 20);
+/// let json = kind.to_json();
+/// assert_eq!(TopologyKind::from_json(&json), Some(kind));
+/// assert_eq!(kind.build().num_links(), 64);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// k-ary n-cube with wraparound channels ([`KAryNCube::torus`]).
+    Torus {
+        /// Nodes per dimension.
+        radix: usize,
+        /// Number of dimensions.
+        dims: usize,
+    },
+    /// k-ary n-cube without wraparound ([`KAryNCube::mesh`]).
+    Mesh {
+        /// Nodes per dimension.
+        radix: usize,
+        /// Number of dimensions.
+        dims: usize,
+    },
+    /// Binary hypercube ([`Hypercube`]).
+    Hypercube {
+        /// Number of dimensions (`2^dims` nodes).
+        dims: usize,
+    },
+    /// k-ary fat-tree ([`FatTree`]).
+    FatTree {
+        /// Switch arity (even).
+        k: usize,
+    },
+    /// Complete graph ([`FullMesh`]).
+    FullMesh {
+        /// Number of nodes.
+        nodes: usize,
+    },
+}
+
+impl TopologyKind {
+    /// Instantiates the described topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are out of the generator's range (see
+    /// each generator's constructor).
+    pub fn build(&self) -> Box<dyn Topology> {
+        match *self {
+            TopologyKind::Torus { radix, dims } => Box::new(KAryNCube::torus(radix, dims)),
+            TopologyKind::Mesh { radix, dims } => Box::new(KAryNCube::mesh(radix, dims)),
+            TopologyKind::Hypercube { dims } => Box::new(Hypercube::new(dims)),
+            TopologyKind::FatTree { k } => Box::new(FatTree::new(k)),
+            TopologyKind::FullMesh { nodes } => Box::new(FullMesh::new(nodes)),
+        }
+    }
+
+    /// Number of nodes the built topology will have, without building it.
+    pub fn num_nodes(&self) -> usize {
+        match *self {
+            TopologyKind::Torus { radix, dims } | TopologyKind::Mesh { radix, dims } => {
+                radix.pow(dims as u32)
+            }
+            TopologyKind::Hypercube { dims } => 1usize << dims,
+            TopologyKind::FatTree { k } => 5 * k * k / 4,
+            TopologyKind::FullMesh { nodes } => nodes,
+        }
+    }
+
+    /// Human-readable label, matching [`Topology::label`] of the built
+    /// instance.
+    pub fn label(&self) -> String {
+        self.build().label()
+    }
+
+    /// Serializes to a JSON object, e.g. `{"kind": "torus", "radix": 8,
+    /// "dims": 2}`.
+    pub fn to_json(&self) -> Json {
+        match *self {
+            TopologyKind::Torus { radix, dims } => Json::obj([
+                ("kind", Json::from("torus")),
+                ("radix", Json::from(radix)),
+                ("dims", Json::from(dims)),
+            ]),
+            TopologyKind::Mesh { radix, dims } => Json::obj([
+                ("kind", Json::from("mesh")),
+                ("radix", Json::from(radix)),
+                ("dims", Json::from(dims)),
+            ]),
+            TopologyKind::Hypercube { dims } => Json::obj([
+                ("kind", Json::from("hypercube")),
+                ("dims", Json::from(dims)),
+            ]),
+            TopologyKind::FatTree { k } => Json::obj([
+                ("kind", Json::from("fat_tree")),
+                ("k", Json::from(k)),
+            ]),
+            TopologyKind::FullMesh { nodes } => Json::obj([
+                ("kind", Json::from("full_mesh")),
+                ("nodes", Json::from(nodes)),
+            ]),
+        }
+    }
+
+    /// Parses the object form produced by [`TopologyKind::to_json`];
+    /// returns `None` on an unknown kind or missing parameter.
+    pub fn from_json(json: &Json) -> Option<TopologyKind> {
+        let field = |key: &str| json.get(key).and_then(Json::as_u64).map(|v| v as usize);
+        Some(match json.get("kind")?.as_str()? {
+            "torus" => TopologyKind::Torus { radix: field("radix")?, dims: field("dims")? },
+            "mesh" => TopologyKind::Mesh { radix: field("radix")?, dims: field("dims")? },
+            "hypercube" => TopologyKind::Hypercube { dims: field("dims")? },
+            "fat_tree" => TopologyKind::FatTree { k: field("k")? },
+            "full_mesh" => TopologyKind::FullMesh { nodes: field("nodes")? },
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ZOO: [TopologyKind; 5] = [
+        TopologyKind::Torus { radix: 4, dims: 2 },
+        TopologyKind::Mesh { radix: 3, dims: 3 },
+        TopologyKind::Hypercube { dims: 4 },
+        TopologyKind::FatTree { k: 4 },
+        TopologyKind::FullMesh { nodes: 16 },
+    ];
+
+    #[test]
+    fn json_round_trip() {
+        for kind in ZOO {
+            let json = kind.to_json();
+            assert_eq!(TopologyKind::from_json(&json), Some(kind), "{kind:?}");
+            // Survives a text round-trip through the parser too.
+            let reparsed = Json::parse(&json.to_string()).unwrap();
+            assert_eq!(TopologyKind::from_json(&reparsed), Some(kind), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn num_nodes_matches_built_instance() {
+        for kind in ZOO {
+            assert_eq!(kind.num_nodes(), kind.build().num_nodes(), "{kind:?}");
+            assert_eq!(kind.label(), kind.build().label(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn bad_json_rejected() {
+        assert_eq!(TopologyKind::from_json(&Json::from("torus")), None);
+        assert_eq!(
+            TopologyKind::from_json(&Json::obj([("kind", Json::from("ring"))])),
+            None
+        );
+        assert_eq!(
+            TopologyKind::from_json(&Json::obj([("kind", Json::from("torus"))])),
+            None,
+            "missing radix/dims"
+        );
+    }
+}

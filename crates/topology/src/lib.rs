@@ -8,8 +8,15 @@
 //! * [`KAryNCube`] — k-ary n-cube **torus** or **mesh** (the paper's
 //!   8×8 and 16×16 tori are `KAryNCube::torus(8, 2)` etc.).
 //! * [`Hypercube`] — binary n-cube.
+//! * [`FatTree`] — k-ary fat-tree (Al-Fares-style pods, aggregation
+//!   and core layers).
+//! * [`FullMesh`] — complete graph, the fabric of the zero-VC
+//!   ordered-detour comparison.
 //! * [`GraphTopology`] — any strongly-connected directed graph, with
 //!   minimal routes precomputed by breadth-first search.
+//!
+//! [`TopologyKind`] names the generated shapes as a serializable
+//! config axis (JSON round-trip via `cr_sim::Json`).
 //!
 //! # Examples
 //!
@@ -26,14 +33,20 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod cube;
+mod fattree;
+mod fullmesh;
 mod graph;
 mod hypercube;
+mod kind;
 mod topology;
 
 pub use cube::KAryNCube;
-pub use graph::GraphTopology;
+pub use fattree::{FatTree, FatTreeLevel};
+pub use fullmesh::FullMesh;
+pub use graph::{GraphError, GraphTopology};
 pub use hypercube::Hypercube;
+pub use kind::TopologyKind;
 pub use topology::{LinkDesc, Topology};

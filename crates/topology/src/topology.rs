@@ -93,6 +93,19 @@ pub trait Topology: std::fmt::Debug {
         true
     }
 
+    /// Returns `true` if any channel of the topology is a wraparound
+    /// channel (i.e. [`Topology::is_wraparound`] holds somewhere).
+    ///
+    /// Routing functions that split virtual-channel classes at the
+    /// dateline use this to decide whether the torus discipline is
+    /// needed at all.
+    fn has_wraparound(&self) -> bool {
+        (0..self.num_nodes()).any(|i| {
+            let node = NodeId::new(i as u32);
+            (0..self.num_ports(node)).any(|p| self.is_wraparound(node, PortId::new(p as u16)))
+        })
+    }
+
     /// Longest shortest-path distance over all node pairs.
     fn diameter(&self) -> usize {
         let n = self.num_nodes();

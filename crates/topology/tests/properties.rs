@@ -6,7 +6,7 @@
 
 use cr_sim::check::{check, Config};
 use cr_sim::{NodeId, PortId};
-use cr_topology::{GraphTopology, Hypercube, KAryNCube, Topology};
+use cr_topology::{FatTree, FullMesh, GraphTopology, Hypercube, KAryNCube, Topology};
 
 /// Checks the invariants shared by all topologies on one instance.
 fn check_invariants(t: &dyn Topology) {
@@ -104,6 +104,78 @@ fn random_connected_graph_invariants() {
         }
         let g = GraphTopology::from_undirected_edges(n, &edges).unwrap();
         check_invariants(&g);
+    });
+}
+
+#[test]
+fn fat_tree_invariants() {
+    check("fat_tree_invariants", Config::cases(4), |src| {
+        let k = 2 * src.usize_in(1..5); // k in {2, 4, 6, 8}
+        check_invariants(&FatTree::new(k));
+    });
+}
+
+#[test]
+fn fat_tree_counts_and_bidirectional_links() {
+    check("fat_tree_counts_and_bidirectional_links", Config::cases(8), |src| {
+        let k = 2 * src.usize_in(1..7); // k in {2, ..., 12}
+        let t = FatTree::new(k);
+        assert_eq!(t.num_nodes(), 5 * k * k / 4);
+        assert_eq!(t.num_links(), k * k * k);
+        let links = t.links();
+        assert_eq!(links.len(), t.num_links());
+        // Every channel has a reverse channel through the same pair of
+        // ports (bidirectional pairing).
+        for l in &links {
+            assert_eq!(t.neighbor(l.dst, l.dst_port), Some(l.src), "reverse of {l:?}");
+            assert_eq!(t.arrival_port(l.dst, l.dst_port), Some(l.src_port));
+        }
+    });
+}
+
+#[test]
+fn fat_tree_strong_connectivity_by_bfs() {
+    // `check_invariants` proves finite distances; this proves actual
+    // reachability by walking the links of a mid-size instance.
+    let t = FatTree::new(6);
+    let n = t.num_nodes();
+    let mut seen = vec![false; n];
+    let mut q = std::collections::VecDeque::from([NodeId::new(0)]);
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(u) = q.pop_front() {
+        for p in 0..t.num_ports(u) {
+            let v = t.neighbor(u, PortId::new(p as u16)).unwrap();
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                count += 1;
+                q.push_back(v);
+            }
+        }
+    }
+    assert_eq!(count, n, "fat-tree not strongly connected");
+}
+
+#[test]
+fn full_mesh_invariants() {
+    check("full_mesh_invariants", Config::cases(8), |src| {
+        let n = src.usize_in(2..24);
+        check_invariants(&FullMesh::new(n));
+    });
+}
+
+#[test]
+fn full_mesh_counts_and_distance_symmetry() {
+    check("full_mesh_counts_and_distance_symmetry", Config::cases(16), |src| {
+        let n = src.usize_in(2..64);
+        let t = FullMesh::new(n);
+        assert_eq!(t.num_nodes(), n);
+        assert_eq!(t.num_links(), n * (n - 1));
+        assert_eq!(t.diameter(), 1);
+        let a = NodeId::new(src.u32_in(0..4096) % n as u32);
+        let b = NodeId::new(src.u32_in(0..4096) % n as u32);
+        assert_eq!(t.distance(a, b), t.distance(b, a));
+        assert_eq!(t.distance(a, b), usize::from(a != b));
     });
 }
 

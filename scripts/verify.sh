@@ -36,6 +36,11 @@ echo "verify: cr-lint clean"
 
 cargo test -q --offline --workspace
 
+# Documentation is part of tier-1: broken intra-doc links or missing
+# rustdoc (cr-topology and cr-router deny missing_docs) fail verify.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace > /dev/null
+echo "verify: rustdoc clean under -D warnings"
+
 # Parallel sweeps must be bit-identical to serial: diff the full
 # --tiny experiment battery between --jobs 1 and the default
 # (all-cores) executor.
