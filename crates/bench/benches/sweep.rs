@@ -180,6 +180,8 @@ fn run_idle(case: IdleCase, dense: bool) -> u64 {
 enum LargeCase {
     /// 64×64 torus, 4 096 nodes, CR over minimal-adaptive routing.
     Torus64,
+    /// 256×256 torus, 65 536 nodes — the assembly-cost stress point.
+    Torus256,
     /// 16-ary fat-tree, 320 switches, CR.
     FatTree16,
     /// 128-node full mesh running the zero-VC ordered-detour scheme.
@@ -190,6 +192,10 @@ impl LargeCase {
     fn kind(self) -> TopologyKind {
         match self {
             LargeCase::Torus64 => TopologyKind::Torus { radix: 64, dims: 2 },
+            LargeCase::Torus256 => TopologyKind::Torus {
+                radix: 256,
+                dims: 2,
+            },
             LargeCase::FatTree16 => TopologyKind::FatTree { k: 16 },
             LargeCase::FullMesh128 => TopologyKind::FullMesh { nodes: 128 },
         }
@@ -202,7 +208,7 @@ fn large_net(case: LargeCase) -> Network {
     let kind = case.kind();
     let mut b = NetworkBuilder::from_kind(&kind);
     match case {
-        LargeCase::Torus64 | LargeCase::FatTree16 => {
+        LargeCase::Torus64 | LargeCase::Torus256 | LargeCase::FatTree16 => {
             b.routing(RoutingKind::Adaptive { vcs: 1 })
                 .protocol(ProtocolKind::Cr)
         }
@@ -236,6 +242,57 @@ fn run_large(case: LargeCase) -> u64 {
     net.set_reference_stepper(false);
     let done = net.run_until_quiescent(2_000_000);
     assert!(done, "large-topology scenario must drain");
+    net.now().as_u64()
+}
+
+/// Builds the *dense* variant of a large fabric for the shard-scaling
+/// pairs: one message per node, arrivals staggered over a short
+/// window, so per-cycle router/link stepping — the work sharding
+/// splits — dominates instead of fast-forwarded dead air.
+fn shard_net(case: LargeCase, shards: usize) -> Network {
+    let kind = case.kind();
+    let mut b = NetworkBuilder::from_kind(&kind);
+    match case {
+        LargeCase::Torus64 | LargeCase::Torus256 | LargeCase::FatTree16 => {
+            b.routing(RoutingKind::Adaptive { vcs: 1 })
+                .protocol(ProtocolKind::Cr)
+        }
+        LargeCase::FullMesh128 => b
+            .routing(RoutingKind::FullMeshOrdered)
+            .protocol(ProtocolKind::Baseline),
+    }
+    .warmup(0)
+    .seed(0x5A)
+    .shards(shards);
+    let mut net = b.build();
+    let n = kind.num_nodes() as u64;
+    // One message per node on small fabrics; every 4th node on the
+    // 4 096-node torus — still >1 000 concurrent worms, but the drain
+    // stays affordable at full bench sample counts.
+    let stride = if n > 1024 { 4 } else { 1 };
+    let events: Vec<TraceEvent> = (0..n)
+        .step_by(stride)
+        .map(|k| TraceEvent {
+            at: Cycle::new((k % 64) * 4),
+            src: NodeId::new(k as u32),
+            dst: NodeId::new(((k.wrapping_mul(2531) + n / 2 + 1) % n) as u32),
+            length: 16,
+        })
+        .filter(|e| e.src != e.dst)
+        .collect();
+    net.schedule_trace(&Trace::from_events(events));
+    net
+}
+
+/// Drains a dense shard-scaling scenario; returns the final cycle.
+/// The `_sh1`/`_sh4` pairs run the identical simulation (the shard
+/// twin-run tests prove byte-equality), so their `cycles_per_sec`
+/// ratio is the sharded stepper's speedup — or, on a single-core
+/// host, its overhead.
+fn run_shard(case: LargeCase, shards: usize) -> u64 {
+    let mut net = shard_net(case, shards);
+    let done = net.run_until_quiescent(2_000_000);
+    assert!(done, "shard-scaling scenario must drain");
     net.now().as_u64()
 }
 
@@ -282,6 +339,7 @@ fn main() {
     // point for PR 6's topology work).
     let large = [
         ("large_torus64_drain", LargeCase::Torus64),
+        ("large_torus256_drain", LargeCase::Torus256),
         ("large_fattree16_drain", LargeCase::FatTree16),
         ("large_fullmesh128_drain", LargeCase::FullMesh128),
     ];
@@ -289,6 +347,22 @@ fn main() {
         let cycles = run_large(case);
         g.sample_size(3);
         g.bench_cycles(name, cycles, || run_large(case));
+    }
+
+    // Shard-scaling pairs: the same dense drain at shards = 1 (serial
+    // stepper) and shards = 4 (spatial sharding, DESIGN.md §12). The
+    // workload is one message per node, so stepping dominates and the
+    // pair ratio measures sharding itself rather than fast-forward.
+    let shard_pairs = [
+        ("large_torus64_drain", LargeCase::Torus64),
+        ("large_fattree16_drain", LargeCase::FatTree16),
+        ("large_fullmesh128_drain", LargeCase::FullMesh128),
+    ];
+    for (name, case) in shard_pairs {
+        let cycles = run_shard(case, 1);
+        g.sample_size(3);
+        g.bench_cycles(&format!("{name}_sh1"), cycles, || run_shard(case, 1));
+        g.bench_cycles(&format!("{name}_sh4"), cycles, || run_shard(case, 4));
     }
 
     g.finish();

@@ -52,6 +52,9 @@ use cr_topology::Topology;
 use cr_traffic::TrafficSource;
 use std::collections::VecDeque;
 
+#[path = "network_sharded.rs"]
+mod sharded;
+
 #[derive(Debug)]
 struct LinkState {
     /// Flits in flight or parked in the channel's stall-holding
@@ -149,13 +152,20 @@ pub struct Network {
     // active components; only the active phases drain them and drop
     // the stale members. That keeps a dense->active switch mid-run
     // legal.
-    /// Routers with buffered flits or an open stall streak.
-    router_set: ActiveSet,
-    /// Links with flits in flight or parked in the channel latches.
-    link_set: ActiveSet,
+    /// Routers with buffered flits or an open stall streak, one set
+    /// per shard (global node ids; shard ownership is fixed by
+    /// `node_shard`). With one shard this is the PR-5 scheduler state
+    /// unchanged; concatenating the per-shard sorted drains in shard
+    /// order reproduces the global ascending order because shards own
+    /// contiguous node-id ranges.
+    router_sets: Vec<ActiveSet>,
+    /// Links with flits in flight or parked in the channel latches,
+    /// one set per shard, keyed by *permuted* link index (see
+    /// `link_perm`).
+    link_sets: Vec<ActiveSet>,
     /// Injectors (flat id `node * inject_channels + channel`) with a
-    /// worm in hand or queued messages.
-    injector_set: ActiveSet,
+    /// worm in hand or queued messages, one set per shard.
+    injector_sets: Vec<ActiveSet>,
     /// `link_wake[link]` = earliest front-of-lane arrival estimate.
     /// Min-updated on every push; may go stale-*early* after purges
     /// (harmless: the link is rescanned and the wake recomputed) but
@@ -172,6 +182,37 @@ pub struct Network {
     /// `true` = run the dense reference stepper (every phase sweeps
     /// every component, no fast-forward).
     reference_stepper: bool,
+
+    // --- spatial sharding state (DESIGN.md §12) ---
+    /// Contiguous node-id partition of the fabric; serial (one shard)
+    /// unless the builder asked for more.
+    plan: cr_sim::shard::Plan,
+    /// `node_shard[node]` = owning shard (the plan's owner table).
+    node_shard: Vec<u16>,
+    /// `link_perm[orig li]` = permuted index. Link *state* (`links`,
+    /// `link_wake`) is stored grouped by owning shard (the shard of
+    /// the link's **destination** node, which is the side arrivals
+    /// mutate), ascending original index within each shard, so each
+    /// shard's links form one contiguous slice. Identity when serial.
+    link_perm: Vec<u32>,
+    /// Inverse of `link_perm`: permuted index -> original link index.
+    link_orig: Vec<u32>,
+    /// Permuted-index range of shard `s`: `link_bounds[s] ..
+    /// link_bounds[s + 1]`.
+    link_bounds: Vec<usize>,
+    /// `link_shard[permuted]` = owning shard.
+    link_shard: Vec<u16>,
+    /// Per-shard mutation buffers for the parallel phases, drained at
+    /// each phase barrier in shard order.
+    shard_scratch: Vec<sharded::ShardScratch>,
+    /// Switch-traversal credit returns resolved to (upstream node,
+    /// upstream output port, vc), buffered during the traverse
+    /// sub-stage and applied at its end — one cycle of credit-return
+    /// latency, identical in the serial and sharded steppers.
+    credit_scratch: Vec<(u32, PortId, VcId)>,
+    /// Worker-thread override for the sharded stepper (tests force >1
+    /// on single-core machines); `None` = available parallelism.
+    shard_threads: Option<usize>,
 }
 
 impl std::fmt::Debug for Network {
@@ -196,9 +237,13 @@ impl Network {
         faults: FaultModel,
         sources: Vec<TrafficSource>,
         offered_load: f64,
+        shards: usize,
     ) -> Self {
         cfg.validate();
         let n = topo.num_nodes();
+        let plan = cr_sim::shard::Plan::from_hint(topo.partition_hint(shards), n, shards);
+        let node_shard = plan.owner_table();
+        let num_shards = plan.num_shards();
         let root = SimRng::from_seed(cfg.seed);
         let num_vcs = routing.num_vcs();
 
@@ -277,6 +322,30 @@ impl Network {
             in_upstream[d.dst.index()][d.dst_port.index()] = Some((d.src.index(), d.src_port));
         }
 
+        // Group link *state* storage by owning shard (the shard of the
+        // destination node), ascending original index within a shard,
+        // so each shard's links are one contiguous mutable slice. With
+        // one shard the permutation is the identity.
+        let mut link_bounds = vec![0usize; num_shards + 1];
+        for d in &descs {
+            link_bounds[node_shard[d.dst.index()] as usize + 1] += 1;
+        }
+        for s in 0..num_shards {
+            link_bounds[s + 1] += link_bounds[s];
+        }
+        let mut next = link_bounds.clone();
+        let mut link_perm = vec![0u32; descs.len()];
+        let mut link_orig = vec![0u32; descs.len()];
+        let mut link_shard = vec![0u16; descs.len()];
+        for (idx, d) in descs.iter().enumerate() {
+            let s = node_shard[d.dst.index()] as usize;
+            let pi = next[s];
+            next[s] += 1;
+            link_perm[idx] = pi as u32;
+            link_orig[pi] = idx as u32;
+            link_shard[pi] = s as u16;
+        }
+
         // Routers learn their dead outgoing links up front (the
         // diagnosed-fault model; undiagnosed behaviour still works via
         // corruption detection, this just lets adaptivity avoid them).
@@ -306,14 +375,27 @@ impl Network {
         Network {
             latency: LatencyRecorder::new(warmup),
             throughput: ThroughputMeter::new(warmup, n),
-            router_set: ActiveSet::new(n),
-            link_set: ActiveSet::new(links.len()),
-            injector_set: ActiveSet::new(n * cfg.inject_channels),
+            router_sets: (0..num_shards).map(|_| ActiveSet::new(n)).collect(),
+            link_sets: (0..num_shards).map(|_| ActiveSet::new(links.len())).collect(),
+            injector_sets: (0..num_shards)
+                .map(|_| ActiveSet::new(n * cfg.inject_channels))
+                .collect(),
             link_wake: vec![Cycle::ZERO; links.len()],
             ids_scratch: Vec::new(),
             live_flits: 0,
             undrained_injectors: 0,
             reference_stepper: false,
+            shard_scratch: (0..num_shards)
+                .map(|_| sharded::ShardScratch::default())
+                .collect(),
+            credit_scratch: Vec::new(),
+            shard_threads: None,
+            plan,
+            node_shard,
+            link_perm,
+            link_orig,
+            link_bounds,
+            link_shard,
             topo,
             routing,
             faults,
@@ -474,6 +556,22 @@ impl Network {
         self.reference_stepper
     }
 
+    /// Number of spatial shards the active stepper runs with (1 =
+    /// serial; the dense reference stepper is always serial).
+    pub fn num_shards(&self) -> usize {
+        self.plan.num_shards()
+    }
+
+    /// Overrides the sharded stepper's worker-thread count (`None`,
+    /// the default, sizes the phase pool to the machine's available
+    /// parallelism, capped at the shard count). Results are identical
+    /// for every value — equivalence tests force >1 to exercise real
+    /// cross-thread handoff even on single-core machines; benchmarks
+    /// may pin it for stable measurements.
+    pub fn set_shard_threads(&mut self, threads: Option<usize>) {
+        self.shard_threads = threads;
+    }
+
     /// All traffic drained: nothing buffered or in flight, nothing
     /// scheduled, every injector empty. O(1) via the incremental
     /// counters.
@@ -492,22 +590,27 @@ impl Network {
 
     /// Marks a router possibly-active (it gained a flit).
     fn arm_router(&mut self, node: usize) {
-        self.router_set.insert(node as u32);
+        self.router_sets[self.node_shard[node] as usize].insert(node as u32);
     }
 
     /// Marks an injector possibly-active (it gained work).
     fn arm_injector(&mut self, node: usize, channel: usize) {
-        self.injector_set
+        self.injector_sets[self.node_shard[node] as usize]
             .insert((node * self.cfg.inject_channels + channel) as u32);
     }
 
     /// Parks `flit` on link `li`'s lane `vc`, due at `arrive`, keeping
     /// the link's active-set membership and wake estimate current.
+    /// `li` is an original link index; state lives at the permuted
+    /// slot.
     fn push_onto_link(&mut self, li: usize, vc: VcId, arrive: Cycle, flit: Flit) {
-        self.links[li].lanes[vc.index()].push_back((arrive, flit));
-        self.links[li].occupied += 1;
-        if self.link_set.insert(li as u32) || arrive < self.link_wake[li] {
-            self.link_wake[li] = arrive;
+        let pi = self.link_perm[li] as usize;
+        self.links[pi].lanes[vc.index()].push_back((arrive, flit));
+        self.links[pi].occupied += 1;
+        if self.link_sets[self.link_shard[pi] as usize].insert(pi as u32)
+            || arrive < self.link_wake[pi]
+        {
+            self.link_wake[pi] = arrive;
         }
     }
 
@@ -646,7 +749,7 @@ impl Network {
             self.phase_traffic(now);
             self.phase_injection_dense(now);
             self.phase_route_and_traverse_dense(now);
-        } else {
+        } else if self.plan.is_serial() {
             self.phase_arrivals_active(now);
             self.phase_tokens(now);
             if let Some(threshold) = self.cfg.path_wide_threshold {
@@ -655,6 +758,10 @@ impl Network {
             self.phase_traffic(now);
             self.phase_injection_active(now);
             self.phase_route_and_traverse_active(now);
+        } else {
+            // Spatially sharded stepper (DESIGN.md §12): byte-identical
+            // to the serial active path for any shard count.
+            self.step_sharded(now);
         }
         self.phase_bookkeeping(now);
 
@@ -747,13 +854,15 @@ impl Network {
             links: self.links.len() as u64,
             ..TraceSummary::default()
         };
+        let mut totals = LinkStats::default();
         for (_, s) in self.link_stall_stats() {
-            trace.stall_busy_cycles += s.stall_busy;
-            trace.stall_dead_link_cycles += s.stall_dead_link;
-            trace.stall_backpressure_cycles += s.stall_backpressure;
+            totals.merge(&s);
             trace.max_link_stall_cycles = trace.max_link_stall_cycles.max(s.stall_total());
-            trace.link_flits_forwarded += s.flits_forwarded;
         }
+        trace.stall_busy_cycles = totals.stall_busy;
+        trace.stall_dead_link_cycles = totals.stall_dead_link;
+        trace.stall_backpressure_cycles = totals.stall_backpressure;
+        trace.link_flits_forwarded = totals.flits_forwarded;
         let (util_mean, util_max) = self.channel_utilization();
         SimReport {
             channel_utilization_mean: util_mean,
@@ -781,11 +890,11 @@ impl Network {
     // Phases
     // ------------------------------------------------------------------
 
-    /// Dense arrivals: sweep every link (skipping empty ones — a pure
-    /// data check, not scheduling).
+    /// Dense arrivals: sweep every link in original-index order
+    /// (skipping empty ones — a pure data check, not scheduling).
     fn phase_arrivals_dense(&mut self, now: Cycle) {
         for li in 0..self.links.len() {
-            if self.links[li].occupied == 0 {
+            if self.links[self.link_perm[li] as usize].occupied == 0 {
                 continue;
             }
             self.scan_link_arrivals(now, li);
@@ -799,30 +908,46 @@ impl Network {
     fn phase_arrivals_active(&mut self, now: Cycle) {
         let mut ids = std::mem::take(&mut self.ids_scratch);
         ids.clear();
-        self.link_set.drain_sorted_into(&mut ids);
-        for &li32 in &ids {
-            let li = li32 as usize;
-            if self.links[li].occupied == 0 {
+        for set in &mut self.link_sets {
+            set.drain_sorted_into(&mut ids);
+        }
+        if self.link_sets.len() > 1 {
+            // Per-shard drains are permuted-index-sorted; the global
+            // scan order must be ascending by *original* index (the
+            // dense order). Serial one-shard runs skip this: the
+            // permutation is the identity and one sorted drain is
+            // already in order.
+            for id in ids.iter_mut() {
+                *id = self.link_orig[*id as usize];
+            }
+            ids.sort_unstable();
+            for id in ids.iter_mut() {
+                *id = self.link_perm[*id as usize];
+            }
+        }
+        for &pi32 in &ids {
+            let pi = pi32 as usize;
+            if self.links[pi].occupied == 0 {
                 continue; // purged empty since it was armed
             }
-            if self.link_wake[li] > now {
+            if self.link_wake[pi] > now {
                 // Nothing due yet; the dense scan would peek every
                 // lane and break immediately.
-                self.link_set.insert(li32);
+                self.link_sets[self.link_shard[pi] as usize].insert(pi32);
                 continue;
             }
-            self.scan_link_arrivals(now, li);
-            if self.links[li].occupied > 0 {
+            self.scan_link_arrivals(now, self.link_orig[pi] as usize);
+            if self.links[pi].occupied > 0 {
                 if let Some(wake) = self
-                    .links[li]
+                    .links[pi]
                     .lanes
                     .iter()
                     .filter_map(|lane| lane.front().map(|&(arrive, _)| arrive))
                     .min()
                 {
-                    self.link_wake[li] = wake;
+                    self.link_wake[pi] = wake;
                 }
-                self.link_set.insert(li32);
+                self.link_sets[self.link_shard[pi] as usize].insert(pi32);
             }
         }
         self.ids_scratch = ids;
@@ -833,8 +958,9 @@ impl Network {
     /// detection, then acceptance. Shared by both steppers.
     fn scan_link_arrivals(&mut self, now: Cycle, li: usize) {
         {
+            let pi = self.link_perm[li] as usize;
             let (dst_node, dst_port) = self.link_head[li];
-            for v in 0..self.links[li].lanes.len() {
+            for v in 0..self.links[pi].lanes.len() {
                 let vc = VcId::new(v as u8);
                 loop {
                     // Wormhole channels are stall-holding: a flit
@@ -842,7 +968,7 @@ impl Network {
                     // the downstream buffer is full (the `link_depth`
                     // share of the credits covers exactly this
                     // occupancy).
-                    let killed = match self.links[li].lanes[v].front() {
+                    let killed = match self.links[pi].lanes[v].front() {
                         Some(&(arrive, ref flit)) if arrive <= now => {
                             let killed = self.killed.contains(flit.worm);
                             if !killed && self.routers[dst_node].vc_is_full(dst_port, vc) {
@@ -852,10 +978,10 @@ impl Network {
                         }
                         _ => break,
                     };
-                    let Some((_, mut flit)) = self.links[li].lanes[v].pop_front() else {
+                    let Some((_, mut flit)) = self.links[pi].lanes[v].pop_front() else {
                         break; // unreachable: front() just succeeded
                     };
-                    self.links[li].occupied -= 1;
+                    self.links[pi].occupied -= 1;
                     flit.hops = flit.hops.saturating_add(1);
 
                     // Fault injection: dead links corrupt every flit
@@ -923,11 +1049,12 @@ impl Network {
         let Some(li) = self.out_link[up_node][up_out.index()] else {
             return;
         };
-        let lane = &mut self.links[li].lanes[vc.index()];
+        let pi = self.link_perm[li] as usize;
+        let lane = &mut self.links[pi].lanes[vc.index()];
         let before = lane.len();
         lane.retain(|(_, f)| f.worm != worm);
         let purged = before - lane.len();
-        self.links[li].occupied -= purged;
+        self.links[pi].occupied -= purged;
         self.live_flits -= purged;
         for _ in 0..purged {
             self.counters.flits_dropped_killed += 1;
@@ -1006,10 +1133,16 @@ impl Network {
     /// phase owns its drain-and-rebuild. Kills never insert routers,
     /// so the membership is stable across the walk.
     fn phase_path_wide_active(&mut self, now: Cycle, threshold: u64) {
-        self.router_set.sort();
-        for k in 0..self.router_set.len() {
-            let node = self.router_set.get(k) as usize;
-            self.path_wide_one(now, threshold, node);
+        // Walking the per-shard sets in shard order visits nodes in
+        // global ascending order (contiguous node ranges). Kills arm
+        // injectors, never routers, so each set is stable while
+        // walked.
+        for s in 0..self.router_sets.len() {
+            self.router_sets[s].sort();
+            for k in 0..self.router_sets[s].len() {
+                let node = self.router_sets[s].get(k) as usize;
+                self.path_wide_one(now, threshold, node);
+            }
         }
     }
 
@@ -1072,12 +1205,16 @@ impl Network {
         let chans = self.cfg.inject_channels;
         let mut ids = std::mem::take(&mut self.ids_scratch);
         ids.clear();
-        self.injector_set.drain_sorted_into(&mut ids);
+        // Shards own contiguous node-id ranges, so concatenating the
+        // per-shard sorted drains in shard order is globally ascending.
+        for set in &mut self.injector_sets {
+            set.drain_sorted_into(&mut ids);
+        }
         for &id in &ids {
             let (n, c) = (id as usize / chans, id as usize % chans);
             self.step_injector_one(now, n, c);
             if self.injectors[n][c].has_step_work() {
-                self.injector_set.insert(id);
+                self.injector_sets[self.node_shard[n] as usize].insert(id);
             }
         }
         self.ids_scratch = ids;
@@ -1137,6 +1274,7 @@ impl Network {
         for n in 0..self.routers.len() {
             self.traverse_one(now, n);
         }
+        self.apply_deferred_credits();
         // Finished link-stall streaks become LinkStall events. The
         // routers only record streaks while tracing (the per-cause
         // counters are always on), so this drain is trace-gated too.
@@ -1159,7 +1297,11 @@ impl Network {
     fn phase_route_and_traverse_active(&mut self, now: Cycle) {
         let mut ids = std::mem::take(&mut self.ids_scratch);
         ids.clear();
-        self.router_set.drain_sorted_into(&mut ids);
+        // Contiguous node ranges per shard: concatenated sorted drains
+        // are globally ascending.
+        for set in &mut self.router_sets {
+            set.drain_sorted_into(&mut ids);
+        }
         for &n in &ids {
             self.route_one(now, n as usize);
         }
@@ -1169,6 +1311,7 @@ impl Network {
         for &n in &ids {
             self.traverse_one(now, n as usize);
         }
+        self.apply_deferred_credits();
         if self.trace.enabled() {
             for &n in &ids {
                 self.drain_streaks_one(n as usize);
@@ -1177,7 +1320,7 @@ impl Network {
         for &n in &ids {
             let r = &self.routers[n as usize];
             if r.total_occupancy() > 0 || r.has_open_streaks() {
-                self.router_set.insert(n);
+                self.router_sets[self.node_shard[n as usize] as usize].insert(n);
             }
         }
         self.ids_scratch = ids;
@@ -1216,7 +1359,15 @@ impl Network {
             let t = traversals[k];
             self.last_progress = now;
             if self.routers[n].port_kind(t.from_port) == PortKind::Node {
-                self.credit_into(n, t.from_port, t.from_vc);
+                // Credit-return latency: the freed slot is advertised
+                // upstream at the end of the traverse sub-stage, not
+                // mid-sweep, so no router's routing/traversal decision
+                // this cycle can observe a credit released by a
+                // lower-numbered router the same cycle. This is also
+                // what makes per-shard traversal order-free: credits
+                // buffered by every shard commit together at the
+                // barrier (DESIGN.md §12).
+                self.credit_scratch.push((n as u32, t.from_port, t.from_vc));
             }
             match t.target {
                 RouteTarget::Link { port, vc } => {
@@ -1353,35 +1504,43 @@ impl Network {
         }
         let now = self.now;
         let mut target = end;
-        for k in 0..self.router_set.len() {
-            let n = self.router_set.get(k) as usize;
-            if self.routers[n].total_occupancy() > 0 || self.routers[n].has_open_streaks() {
-                return;
+        for set in &self.router_sets {
+            for k in 0..set.len() {
+                let n = set.get(k) as usize;
+                if self.routers[n].total_occupancy() > 0 || self.routers[n].has_open_streaks() {
+                    return;
+                }
             }
         }
         let chans = self.cfg.inject_channels;
-        for k in 0..self.injector_set.len() {
-            let id = self.injector_set.get(k) as usize;
-            let inj = &self.injectors[id / chans][id % chans];
-            if !inj.has_step_work() {
-                continue; // stale entry
-            }
-            match inj.backoff_resume() {
-                Some(resume) if resume > now => target = target.min(resume),
-                _ => return, // sending or resuming now: must step
+        for set in &self.injector_sets {
+            for k in 0..set.len() {
+                let id = set.get(k) as usize;
+                let inj = &self.injectors[id / chans][id % chans];
+                if !inj.has_step_work() {
+                    continue; // stale entry
+                }
+                match inj.backoff_resume() {
+                    Some(resume) if resume > now => target = target.min(resume),
+                    _ => return, // sending or resuming now: must step
+                }
             }
         }
-        for k in 0..self.link_set.len() {
-            let li = self.link_set.get(k) as usize;
-            if self.links[li].occupied == 0 {
-                continue; // purged empty since it was armed
+        for set in &self.link_sets {
+            for k in 0..set.len() {
+                // Members are permuted indices — exactly how `links`
+                // and `link_wake` are stored.
+                let pi = set.get(k) as usize;
+                if self.links[pi].occupied == 0 {
+                    continue; // purged empty since it was armed
+                }
+                let wake = self.link_wake[pi];
+                if wake <= now {
+                    // Due (or a conservative stale-early estimate): step.
+                    return;
+                }
+                target = target.min(wake);
             }
-            let wake = self.link_wake[li];
-            if wake <= now {
-                // Due (or a conservative stale-early estimate): step.
-                return;
-            }
-            target = target.min(wake);
         }
         if let Some(e) = self.scheduled.front() {
             if e.at <= now {
@@ -1542,6 +1701,18 @@ impl Network {
         if let Some((up_node, up_out)) = self.in_upstream[node][in_port.index()] {
             self.routers[up_node].add_credit(up_out, vc);
         }
+    }
+
+    /// Commits the credits buffered by the traverse sub-stage (see
+    /// `traverse_one`): the end-of-stage barrier of the one-cycle
+    /// credit-return latency.
+    fn apply_deferred_credits(&mut self) {
+        let mut credits = std::mem::take(&mut self.credit_scratch);
+        for &(node, in_port, vc) in &credits {
+            self.credit_into(node as usize, in_port, vc);
+        }
+        credits.clear();
+        self.credit_scratch = credits;
     }
 
     fn downstream_of(&self, node: usize, out_port: PortId) -> Option<(usize, PortId)> {

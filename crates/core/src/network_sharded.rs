@@ -1,0 +1,887 @@
+//! Spatially sharded stepper: the active-set cycle phases fanned out
+//! over contiguous node-id shards on the `cr_sim::pool` scoped-thread
+//! pool, byte-identical to the serial stepper (DESIGN.md §12).
+//!
+//! # How identity is preserved
+//!
+//! Every shard owns a contiguous node-id range (`cr_sim::shard::Plan`)
+//! and, with it, the routers, injectors and receivers of those nodes
+//! plus every link whose *destination* lies in the range (arrivals
+//! mutate the destination router, so links live with their heads; link
+//! state is stored permuted so each shard's links are one contiguous
+//! slice). Four phases run as one pool task per shard — arrivals,
+//! injection, routing + orphan-credit collection, and switch traversal
+//! — and everything a task would have to touch outside its shard is
+//! buffered in its [`ShardScratch`] instead: upstream credit returns,
+//! departing flits (a struct-of-arrays push buffer), teardown tokens,
+//! killed-registry inserts, trace events, deliveries, and counter
+//! deltas. At each phase barrier the buffers drain **in shard order**,
+//! which — because shards are contiguous id ranges walked ascending —
+//! reproduces exactly the global ascending order of the serial sweep.
+//! Between the phase fan-outs the serial sub-phases (kill tokens,
+//! path-wide detection, traffic, bookkeeping) run unchanged on the
+//! orchestrator thread.
+//!
+//! Two structural properties make the fan-out sound:
+//!
+//! * **Credit-return latency.** The traverse sub-stage's upstream
+//!   credit returns are buffered and committed at the end of the
+//!   sub-stage *in both steppers* (see `traverse_one`), so no
+//!   same-cycle decision can observe a credit freed by another router
+//!   this cycle — and therefore no cross-shard read order exists to
+//!   preserve.
+//! * **Fault-free arrivals commute.** The parallel arrivals path is
+//!   only taken when no arrival can draw the fault RNG or kill a worm
+//!   (no transient corruption, and dead links only matter to
+//!   fault-detecting protocols); otherwise the phase falls back to the
+//!   serial global-order scan for the whole cycle.
+
+use super::{LinkState, Network, Token, SOURCE_GONE};
+use crate::injector::Injector;
+use crate::killmap::KilledMap;
+use crate::receiver::{DeliveredMessage, Receiver};
+use crate::report::NetCounters;
+use cr_faults::FaultModel;
+use cr_router::{
+    Flit, LinkStallStreak, PortKind, RouteTarget, Router, RoutingFunction, Traversal, WormId,
+};
+use cr_sim::pool;
+use cr_sim::sched::ActiveSet;
+use cr_sim::trace::{Event, KillCause};
+use cr_sim::{Cycle, NodeId, PortId, VcId};
+use cr_topology::Topology;
+
+/// Per-shard mutation buffers, drained at each phase barrier in shard
+/// order. One per shard, persistent across cycles so the Vec
+/// capacities amortize.
+#[derive(Default)]
+pub(crate) struct ShardScratch {
+    /// Drained active-set members being walked this phase (router ids
+    /// persist from the route fan-out to the traverse fan-out).
+    ids: Vec<u32>,
+    /// Per-router switch-traversal output, reused across routers.
+    traversals: Vec<Traversal>,
+    /// Finished link-stall streaks, reused across routers.
+    streaks: Vec<LinkStallStreak>,
+    /// Struct-of-arrays buffer of flits departing onto links:
+    /// original link index, lane, flit. Applied (in order) at the
+    /// traverse barrier — this is the cross-shard flit handoff.
+    push_li: Vec<u32>,
+    /// Lane (virtual channel) per push.
+    push_vc: Vec<u8>,
+    /// Flit payload per push.
+    push_flit: Vec<Flit>,
+    /// Upstream credit returns, already resolved to (upstream node,
+    /// upstream output port, vc) — credits commute, so per-shard
+    /// buffers applied in shard order equal the serial interleaving.
+    credits: Vec<(u32, PortId, VcId)>,
+    /// Messages completed by this shard's receivers, in traversal
+    /// order; all delivery side effects run at the barrier.
+    delivered: Vec<DeliveredMessage>,
+    /// Forward teardown tokens from source-timeout kills.
+    tokens: Vec<Token>,
+    /// Worms killed this phase (all at the current cycle).
+    kills: Vec<WormId>,
+    /// Trace events in shard-local emission order (empty when tracing
+    /// is off).
+    events: Vec<Event>,
+    /// `LinkStall` events, kept separate because the serial stepper
+    /// emits all streaks after all deliveries.
+    streak_events: Vec<Event>,
+    /// Counter increments (plain sums; merge order cannot matter).
+    counters: NetCounters,
+    /// Net change to the live-flit count.
+    live_delta: i64,
+    /// Net change to the undrained-injector count.
+    undrained_delta: i64,
+    /// Whether anything in this shard made forward progress.
+    progress: bool,
+}
+
+/// Splits `items` into consecutive mutable chunks of the given sizes
+/// (one per shard). Sizes must sum to the slice length.
+fn split_mut<'a, T>(mut items: &'a mut [T], sizes: impl Iterator<Item = usize>) -> Vec<&'a mut [T]> {
+    let mut out = Vec::new();
+    for len in sizes {
+        let (head, tail) = items.split_at_mut(len);
+        out.push(head);
+        items = tail;
+    }
+    debug_assert!(items.is_empty(), "split sizes must cover the slice");
+    out
+}
+
+/// Applies a signed delta to an unsigned incremental counter.
+fn apply_delta(value: &mut usize, delta: i64) {
+    let next = *value as i64 + delta;
+    debug_assert!(next >= 0, "incremental counter went negative");
+    *value = next.max(0) as usize;
+}
+
+/// Read-only state shared by every shard task of one phase.
+struct Shared<'a> {
+    now: Cycle,
+    link_orig: &'a [u32],
+    link_head: &'a [(usize, PortId)],
+    link_ids: &'a [cr_sim::LinkId],
+    out_link: &'a [Vec<Option<usize>>],
+    in_upstream: &'a [Vec<Option<(usize, PortId)>>],
+    killed: &'a KilledMap,
+    faults: &'a FaultModel,
+    routing: &'a dyn RoutingFunction,
+    topo: &'a dyn Topology,
+    trace_on: bool,
+    chans: usize,
+}
+
+impl<'a> Shared<'a> {
+    /// Buffers a credit for the router feeding `(node, in_port, vc)`
+    /// (the shard-safe analogue of `Network::credit_into`).
+    fn buffer_credit(
+        &self,
+        scratch: &mut ShardScratch,
+        node: usize,
+        in_port: PortId,
+        vc: VcId,
+    ) {
+        if let Some((up_node, up_out)) = self.in_upstream[node][in_port.index()] {
+            scratch.credits.push((up_node as u32, up_out, vc));
+        }
+    }
+}
+
+impl Network {
+    /// Worker threads for the phase fan-outs: the explicit override if
+    /// set, else the machine's available parallelism (always capped at
+    /// the shard count by the callers).
+    fn shard_workers(&self) -> usize {
+        self.shard_threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    }
+
+    /// One cycle of the sharded stepper: the serial phase list with
+    /// arrivals, injection, routing and traversal fanned out per
+    /// shard. Byte-identical to `Network::step`'s serial active path.
+    pub(super) fn step_sharded(&mut self, now: Cycle) {
+        self.sharded_arrivals(now);
+        self.phase_tokens(now);
+        if let Some(threshold) = self.cfg.path_wide_threshold {
+            // Walks the per-shard router sets in shard order (global
+            // ascending) on the orchestrator: kills are rare and walk
+            // cross-shard teardown chains, so they stay serial.
+            self.phase_path_wide_active(now, threshold);
+        }
+        self.phase_traffic(now);
+        self.sharded_injection(now);
+        self.sharded_route_and_traverse(now);
+    }
+
+    // --------------------------------------------------------------
+    // Arrivals
+    // --------------------------------------------------------------
+
+    fn sharded_arrivals(&mut self, now: Cycle) {
+        // The parallel path requires that no arrival can draw the
+        // fault RNG (transient corruption) or kill a worm (corruption
+        // detection): then per-link arrival work is confined to the
+        // link and its destination router — both shard-owned — and
+        // the only cross-shard effect (upstream credits for
+        // killed-worm drops) commutes and is buffered to the barrier.
+        let parallel_ok = self.faults.transient_rate() == 0.0
+            && (self.faults.num_dead_links() == 0 || !self.cfg.protocol.detects_faults());
+        if !parallel_ok {
+            self.phase_arrivals_active(now);
+            return;
+        }
+        let workers = self.shard_workers().min(self.plan.num_shards());
+        let Network {
+            routers,
+            links,
+            link_wake,
+            link_sets,
+            router_sets,
+            shard_scratch,
+            link_bounds,
+            plan,
+            link_orig,
+            link_head,
+            link_ids,
+            out_link,
+            in_upstream,
+            killed,
+            faults,
+            routing,
+            topo,
+            trace,
+            cfg,
+            ..
+        } = self;
+        let shared = &Shared {
+            now,
+            link_orig: link_orig.as_slice(),
+            link_head: link_head.as_slice(),
+            link_ids: link_ids.as_slice(),
+            out_link: out_link.as_slice(),
+            in_upstream: in_upstream.as_slice(),
+            killed: &*killed,
+            faults: &*faults,
+            routing: &**routing,
+            topo: &**topo,
+            trace_on: trace.enabled(),
+            chans: cfg.inject_channels,
+        };
+        let node_sizes = || plan.bounds().windows(2).map(|w| (w[1] - w[0]) as usize);
+        let link_sizes = || link_bounds.windows(2).map(|w| w[1] - w[0]);
+        let routers_split = split_mut(routers, node_sizes());
+        let links_split = split_mut(links, link_sizes());
+        let wake_split = split_mut(link_wake, link_sizes());
+        let mut tasks = Vec::with_capacity(plan.num_shards());
+        for (s, ((((routers_s, links_s), wake_s), link_set), (router_set, scratch))) in
+            routers_split
+                .into_iter()
+                .zip(links_split)
+                .zip(wake_split)
+                .zip(link_sets.iter_mut())
+                .zip(router_sets.iter_mut().zip(shard_scratch.iter_mut()))
+                .enumerate()
+        {
+            let node_lo = plan.bounds()[s] as usize;
+            let links_lo = link_bounds[s];
+            tasks.push(move || {
+                arrivals_task(
+                    shared, routers_s, links_s, wake_s, link_set, router_set, scratch, node_lo,
+                    links_lo,
+                );
+            });
+        }
+        pool::run(workers, tasks);
+        for s in 0..self.plan.num_shards() {
+            let mut scratch = std::mem::take(&mut self.shard_scratch[s]);
+            self.apply_shard_credits(&mut scratch);
+            self.apply_shard_deltas(now, &mut scratch);
+            self.shard_scratch[s] = scratch;
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Injection
+    // --------------------------------------------------------------
+
+    fn sharded_injection(&mut self, now: Cycle) {
+        let workers = self.shard_workers().min(self.plan.num_shards());
+        let Network {
+            routers,
+            injectors,
+            receivers,
+            injector_sets,
+            router_sets,
+            shard_scratch,
+            plan,
+            link_orig,
+            link_head,
+            link_ids,
+            out_link,
+            in_upstream,
+            killed,
+            faults,
+            routing,
+            topo,
+            trace,
+            cfg,
+            ..
+        } = self;
+        let shared = &Shared {
+            now,
+            link_orig: link_orig.as_slice(),
+            link_head: link_head.as_slice(),
+            link_ids: link_ids.as_slice(),
+            out_link: out_link.as_slice(),
+            in_upstream: in_upstream.as_slice(),
+            killed: &*killed,
+            faults: &*faults,
+            routing: &**routing,
+            topo: &**topo,
+            trace_on: trace.enabled(),
+            chans: cfg.inject_channels,
+        };
+        let node_sizes = || plan.bounds().windows(2).map(|w| (w[1] - w[0]) as usize);
+        let routers_split = split_mut(routers, node_sizes());
+        let injectors_split = split_mut(injectors, node_sizes());
+        let receivers_split = split_mut(receivers, node_sizes());
+        let mut tasks = Vec::with_capacity(plan.num_shards());
+        for (s, ((((routers_s, injectors_s), receivers_s), injector_set), (router_set, scratch))) in
+            routers_split
+                .into_iter()
+                .zip(injectors_split)
+                .zip(receivers_split)
+                .zip(injector_sets.iter_mut())
+                .zip(router_sets.iter_mut().zip(shard_scratch.iter_mut()))
+                .enumerate()
+        {
+            let node_lo = plan.bounds()[s] as usize;
+            tasks.push(move || {
+                injection_task(
+                    shared,
+                    routers_s,
+                    injectors_s,
+                    receivers_s,
+                    injector_set,
+                    router_set,
+                    scratch,
+                    node_lo,
+                );
+            });
+        }
+        pool::run(workers, tasks);
+        for s in 0..self.plan.num_shards() {
+            let mut scratch = std::mem::take(&mut self.shard_scratch[s]);
+            // Serial order per injector: Kill event (buffered in
+            // `events`), registry insert, forward token push. Nothing
+            // in this phase reads the registry or the token lists, so
+            // grouping the applies per kind is state-identical.
+            for &worm in &scratch.kills {
+                super::debug_worm(worm, || {
+                    format!("{now} KILL {worm} cause SourceTimeout (sharded)")
+                });
+                self.killed.insert(worm, now);
+            }
+            scratch.kills.clear();
+            self.fwd_tokens.append(&mut scratch.tokens);
+            self.apply_shard_deltas(now, &mut scratch);
+            self.shard_scratch[s] = scratch;
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Routing + switch traversal
+    // --------------------------------------------------------------
+
+    fn sharded_route_and_traverse(&mut self, now: Cycle) {
+        let workers = self.shard_workers().min(self.plan.num_shards());
+        // Fan-out 1: routing/VC-allocation, then orphan-credit
+        // collection, per shard (the serial sub-stage barrier between
+        // the two only orders router-local state).
+        {
+            let Network {
+                routers,
+                router_sets,
+                shard_scratch,
+                plan,
+                link_orig,
+                link_head,
+                link_ids,
+                out_link,
+                in_upstream,
+                killed,
+                faults,
+                routing,
+                topo,
+                trace,
+                cfg,
+                ..
+            } = &mut *self;
+            let shared = &Shared {
+                now,
+                link_orig: link_orig.as_slice(),
+                link_head: link_head.as_slice(),
+                link_ids: link_ids.as_slice(),
+                out_link: out_link.as_slice(),
+                in_upstream: in_upstream.as_slice(),
+                killed: &*killed,
+                faults: &*faults,
+                routing: &**routing,
+                topo: &**topo,
+                trace_on: trace.enabled(),
+                chans: cfg.inject_channels,
+            };
+            let node_sizes = || plan.bounds().windows(2).map(|w| (w[1] - w[0]) as usize);
+            let routers_split = split_mut(routers, node_sizes());
+            let mut tasks = Vec::with_capacity(plan.num_shards());
+            for (s, ((routers_s, router_set), scratch)) in routers_split
+                .into_iter()
+                .zip(router_sets.iter_mut())
+                .zip(shard_scratch.iter_mut())
+                .enumerate()
+            {
+                let node_lo = plan.bounds()[s] as usize;
+                tasks.push(move || route_task(shared, routers_s, router_set, scratch, node_lo));
+            }
+            pool::run(workers, tasks);
+        }
+        // Barrier: orphan credits must be visible before any traversal
+        // reads its credit counters (the serial sub-stage order).
+        for s in 0..self.plan.num_shards() {
+            let mut scratch = std::mem::take(&mut self.shard_scratch[s]);
+            self.apply_shard_credits(&mut scratch);
+            apply_delta(&mut self.live_flits, scratch.live_delta);
+            scratch.live_delta = 0;
+            self.shard_scratch[s] = scratch;
+        }
+        // Fan-out 2: switch traversal over the same drained id lists.
+        {
+            let Network {
+                routers,
+                receivers,
+                router_sets,
+                shard_scratch,
+                plan,
+                link_orig,
+                link_head,
+                link_ids,
+                out_link,
+                in_upstream,
+                killed,
+                faults,
+                routing,
+                topo,
+                trace,
+                cfg,
+                ..
+            } = &mut *self;
+            let shared = &Shared {
+                now,
+                link_orig: link_orig.as_slice(),
+                link_head: link_head.as_slice(),
+                link_ids: link_ids.as_slice(),
+                out_link: out_link.as_slice(),
+                in_upstream: in_upstream.as_slice(),
+                killed: &*killed,
+                faults: &*faults,
+                routing: &**routing,
+                topo: &**topo,
+                trace_on: trace.enabled(),
+                chans: cfg.inject_channels,
+            };
+            let node_sizes = || plan.bounds().windows(2).map(|w| (w[1] - w[0]) as usize);
+            let routers_split = split_mut(routers, node_sizes());
+            let receivers_split = split_mut(receivers, node_sizes());
+            let mut tasks = Vec::with_capacity(plan.num_shards());
+            for (s, (((routers_s, receivers_s), router_set), scratch)) in routers_split
+                .into_iter()
+                .zip(receivers_split)
+                .zip(router_sets.iter_mut())
+                .zip(shard_scratch.iter_mut())
+                .enumerate()
+            {
+                let node_lo = plan.bounds()[s] as usize;
+                tasks.push(move || {
+                    traverse_task(shared, routers_s, receivers_s, router_set, scratch, node_lo)
+                });
+            }
+            pool::run(workers, tasks);
+        }
+        // Traverse barrier, in shard order: link pushes (the
+        // cross-shard flit handoff, applied in the exact serial
+        // order: routers ascending, traversals in emission order),
+        // then deliveries with all their side effects, then the
+        // deferred credits, then counter deltas. Pushes, deliveries
+        // and credits touch disjoint state, so their relative grouping
+        // cannot be observed.
+        let channel_latency = self.cfg.channel_latency;
+        let warmup = self.cfg.warmup;
+        for s in 0..self.plan.num_shards() {
+            let mut scratch = std::mem::take(&mut self.shard_scratch[s]);
+            for i in 0..scratch.push_li.len() {
+                let li = scratch.push_li[i] as usize;
+                if now.as_u64() >= warmup {
+                    self.link_flits[li] += 1;
+                }
+                self.push_onto_link(
+                    li,
+                    VcId::new(scratch.push_vc[i]),
+                    now + channel_latency,
+                    scratch.push_flit[i],
+                );
+            }
+            scratch.push_li.clear();
+            scratch.push_vc.clear();
+            scratch.push_flit.clear();
+            for i in 0..scratch.delivered.len() {
+                let m = scratch.delivered[i];
+                self.counters.messages_delivered += 1;
+                self.counters.payload_flits_delivered += u64::from(m.payload_len);
+                if m.corrupt {
+                    self.counters.corrupt_payload_delivered += 1;
+                }
+                self.latency.record(m.created, now);
+                self.throughput.record_flits(now, m.payload_len as usize);
+                self.trace.emit(|| Event::Deliver {
+                    at: now,
+                    src: m.src,
+                    dst: m.dst,
+                    message: m.id,
+                    attempts: m.attempts,
+                    latency: now.saturating_since(m.created),
+                });
+                if let Some((sn, sc)) = self.source_of(m.id) {
+                    self.worm_sources[m.id.as_u64() as usize] = SOURCE_GONE;
+                    self.injector_on_delivered(sn, sc, m.id);
+                }
+                if self.record_deliveries {
+                    self.delivery_log.push(m);
+                }
+            }
+            scratch.delivered.clear();
+            self.apply_shard_credits(&mut scratch);
+            self.apply_shard_deltas(now, &mut scratch);
+            self.shard_scratch[s] = scratch;
+        }
+        // The serial stepper emits every finished stall streak after
+        // every delivery, so the streak events drain in a second pass.
+        for s in 0..self.plan.num_shards() {
+            let mut scratch = std::mem::take(&mut self.shard_scratch[s]);
+            for ev in scratch.streak_events.drain(..) {
+                self.trace.emit(|| ev);
+            }
+            self.shard_scratch[s] = scratch;
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Barrier helpers
+    // --------------------------------------------------------------
+
+    /// Commits a shard's buffered upstream credit returns. Credits
+    /// are commutative increments, so shard order equals the serial
+    /// interleaving.
+    fn apply_shard_credits(&mut self, scratch: &mut ShardScratch) {
+        for &(up_node, up_out, vc) in &scratch.credits {
+            self.routers[up_node as usize].add_credit(up_out, vc);
+        }
+        scratch.credits.clear();
+    }
+
+    /// Commits a shard's counter deltas, progress flag and buffered
+    /// trace events.
+    fn apply_shard_deltas(&mut self, now: Cycle, scratch: &mut ShardScratch) {
+        self.counters.merge(&scratch.counters);
+        scratch.counters = NetCounters::default();
+        apply_delta(&mut self.live_flits, scratch.live_delta);
+        scratch.live_delta = 0;
+        apply_delta(&mut self.undrained_injectors, scratch.undrained_delta);
+        scratch.undrained_delta = 0;
+        if scratch.progress {
+            self.last_progress = now;
+            scratch.progress = false;
+        }
+        for ev in scratch.events.drain(..) {
+            self.trace.emit(|| ev);
+        }
+    }
+}
+
+/// Arrivals for one shard: the serial `scan_link_arrivals` specialized
+/// to the fault-free/non-detecting gate (no RNG draw, no kill, no
+/// trace event), walking the shard's links ascending.
+#[allow(clippy::too_many_arguments)]
+fn arrivals_task(
+    shared: &Shared<'_>,
+    routers_s: &mut [Router],
+    links_s: &mut [LinkState],
+    wake_s: &mut [Cycle],
+    link_set: &mut ActiveSet,
+    router_set: &mut ActiveSet,
+    scratch: &mut ShardScratch,
+    node_lo: usize,
+    links_lo: usize,
+) {
+    let now = shared.now;
+    let mut ids = std::mem::take(&mut scratch.ids);
+    ids.clear();
+    link_set.drain_sorted_into(&mut ids);
+    for &pi32 in &ids {
+        let pi = pi32 as usize;
+        let local = pi - links_lo;
+        if links_s[local].occupied == 0 {
+            continue; // purged empty since it was armed
+        }
+        if wake_s[local] > now {
+            link_set.insert(pi32);
+            continue;
+        }
+        let li = shared.link_orig[pi] as usize;
+        let (dst_node, dst_port) = shared.link_head[li];
+        let dst_local = dst_node - node_lo;
+        let link_dead = shared.faults.is_dead(shared.link_ids[li]);
+        for v in 0..links_s[local].lanes.len() {
+            let vc = VcId::new(v as u8);
+            loop {
+                let killed = match links_s[local].lanes[v].front() {
+                    Some(&(arrive, ref flit)) if arrive <= now => {
+                        let killed = shared.killed.contains(flit.worm);
+                        if !killed && routers_s[dst_local].vc_is_full(dst_port, vc) {
+                            break;
+                        }
+                        killed
+                    }
+                    _ => break,
+                };
+                let Some((_, mut flit)) = links_s[local].lanes[v].pop_front() else {
+                    break; // unreachable: front() just succeeded
+                };
+                links_s[local].occupied -= 1;
+                flit.hops = flit.hops.saturating_add(1);
+                if link_dead {
+                    // Dead link, non-detecting protocol (the gate):
+                    // the flit is corrupted and carried on — the
+                    // integrity-violation baseline.
+                    if !flit.corrupted {
+                        scratch.counters.flits_corrupted += 1;
+                    }
+                    flit.corrupted = true;
+                }
+                if killed {
+                    scratch.counters.flits_dropped_killed += 1;
+                    scratch.live_delta -= 1;
+                    shared.buffer_credit(scratch, dst_node, dst_port, vc);
+                    continue;
+                }
+                routers_s[dst_local].accept(now, dst_port, vc, flit);
+                router_set.insert(dst_node as u32);
+                scratch.progress = true;
+            }
+        }
+        if links_s[local].occupied > 0 {
+            if let Some(wake) = links_s[local]
+                .lanes
+                .iter()
+                .filter_map(|lane| lane.front().map(|&(arrive, _)| arrive))
+                .min()
+            {
+                wake_s[local] = wake;
+            }
+            link_set.insert(pi32);
+        }
+    }
+    scratch.ids = ids;
+}
+
+/// Injection for one shard: the serial `step_injector_one` with the
+/// source-timeout kill path inlined (a source kill only touches the
+/// worm's own node — flush at the inject port releases no upstream
+/// credit — plus the buffered registry insert and forward token).
+fn injection_task(
+    shared: &Shared<'_>,
+    routers_s: &mut [Router],
+    injectors_s: &mut [Vec<Injector>],
+    receivers_s: &mut [Receiver],
+    injector_set: &mut ActiveSet,
+    router_set: &mut ActiveSet,
+    scratch: &mut ShardScratch,
+    node_lo: usize,
+) {
+    let now = shared.now;
+    let chans = shared.chans;
+    let mut ids = std::mem::take(&mut scratch.ids);
+    ids.clear();
+    injector_set.drain_sorted_into(&mut ids);
+    for &id in &ids {
+        let (n, c) = (id as usize / chans, id as usize % chans);
+        let local = n - node_lo;
+        let out = injectors_s[local][c].step(now, &mut routers_s[local]);
+        if out.injected_flit {
+            scratch.progress = true;
+            scratch.live_delta += 1;
+            router_set.insert(n as u32);
+            if out.injected_pad {
+                scratch.counters.pad_flits_injected += 1;
+            } else {
+                scratch.counters.payload_flits_injected += 1;
+            }
+        }
+        if out.restarted {
+            scratch.counters.retransmissions += 1;
+        }
+        if shared.trace_on {
+            if let Some((worm, dst)) = out.started {
+                scratch.events.push(Event::Inject {
+                    at: now,
+                    src: NodeId::new(n as u32),
+                    dst,
+                    message: worm.message,
+                    attempt: worm.attempt,
+                });
+            }
+            if let Some(worm) = out.committed {
+                scratch.events.push(Event::Commit {
+                    at: now,
+                    src: NodeId::new(n as u32),
+                    message: worm.message,
+                    attempt: worm.attempt,
+                });
+            }
+        }
+        if let Some(worm) = out.kill {
+            scratch.counters.kills_source_timeout += 1;
+            scratch.kills.push(worm);
+            if shared.trace_on {
+                scratch.events.push(Event::Kill {
+                    at: now,
+                    node: NodeId::new(n as u32),
+                    message: worm.message,
+                    attempt: worm.attempt,
+                    cause: KillCause::SourceTimeout,
+                });
+            }
+            // `flush_and_credit` at an inject port: no upstream
+            // credits, no feeding link to purge.
+            let port = routers_s[local].inject_port(c);
+            let res = routers_s[local].flush_worm(port, VcId::new(0), worm);
+            scratch.live_delta -= res.flushed as i64;
+            debug_assert_eq!(routers_s[local].port_kind(port), PortKind::Inject);
+            match res.released {
+                Some(RouteTarget::Link { port: op, vc: ov }) => {
+                    if let Some(li) = shared.out_link[n][op.index()] {
+                        let (next_node, next_port) = shared.link_head[li];
+                        scratch.tokens.push(Token {
+                            worm,
+                            node: next_node,
+                            port: next_port,
+                            vc: ov,
+                        });
+                    }
+                }
+                Some(RouteTarget::Eject { .. }) => receivers_s[local].discard(worm),
+                None => {}
+            }
+            // `injector_on_killed` with the undrained count buffered.
+            let was_drained = injectors_s[local][c].is_drained();
+            let retx = injectors_s[local][c].on_killed(now, worm);
+            match (was_drained, injectors_s[local][c].is_drained()) {
+                (true, false) => scratch.undrained_delta += 1,
+                (false, true) => scratch.undrained_delta -= 1,
+                _ => {}
+            }
+            injector_set.insert(id);
+            if shared.trace_on {
+                if let Some((attempt, resume_at)) = retx {
+                    scratch.events.push(Event::RetransmitScheduled {
+                        at: now,
+                        message: worm.message,
+                        attempt,
+                        resume_at,
+                    });
+                }
+            }
+        }
+        if injectors_s[local][c].has_step_work() {
+            injector_set.insert(id);
+        }
+    }
+    scratch.ids = ids;
+}
+
+/// Routing/VC-allocation plus orphan-credit collection for one shard.
+/// The drained router ids stay in `scratch.ids` for the traverse
+/// fan-out (the serial phase drains the set once for all four
+/// sub-stages).
+fn route_task(
+    shared: &Shared<'_>,
+    routers_s: &mut [Router],
+    router_set: &mut ActiveSet,
+    scratch: &mut ShardScratch,
+    node_lo: usize,
+) {
+    let now = shared.now;
+    let mut ids = std::mem::take(&mut scratch.ids);
+    ids.clear();
+    router_set.drain_sorted_into(&mut ids);
+    let is_killed = |w: WormId| shared.killed.contains(w);
+    for &n in &ids {
+        let local = n as usize - node_lo;
+        let orphans = routers_s[local].route_and_allocate(now, shared.routing, shared.topo, &is_killed);
+        scratch.live_delta -= orphans as i64;
+    }
+    for &n in &ids {
+        let local = n as usize - node_lo;
+        let orphans = routers_s[local].take_orphan_credits();
+        for (port, vc) in orphans {
+            shared.buffer_credit(scratch, n as usize, port, vc);
+        }
+    }
+    scratch.ids = ids;
+}
+
+/// Switch traversal for one shard, over the ids drained by
+/// [`route_task`]: departing flits buffer into the struct-of-arrays
+/// push buffer (links may belong to another shard) or deliver into the
+/// shard's own receivers; upstream credits buffer per the
+/// credit-return latency; finished stall streaks buffer as events.
+fn traverse_task(
+    shared: &Shared<'_>,
+    routers_s: &mut [Router],
+    receivers_s: &mut [Receiver],
+    router_set: &mut ActiveSet,
+    scratch: &mut ShardScratch,
+    node_lo: usize,
+) {
+    let now = shared.now;
+    let mut ids = std::mem::take(&mut scratch.ids);
+    let mut traversals = std::mem::take(&mut scratch.traversals);
+    let is_killed = |w: WormId| shared.killed.contains(w);
+    for &n in &ids {
+        let local = n as usize - node_lo;
+        traversals.clear();
+        routers_s[local].traverse_into(now, &is_killed, &mut traversals);
+        for k in 0..traversals.len() {
+            let t = traversals[k];
+            scratch.progress = true;
+            if routers_s[local].port_kind(t.from_port) == PortKind::Node {
+                shared.buffer_credit(scratch, n as usize, t.from_port, t.from_vc);
+            }
+            match t.target {
+                RouteTarget::Link { port, vc } => {
+                    let Some(li) = shared.out_link[n as usize][port.index()] else {
+                        debug_assert!(false, "route to disconnected port");
+                        continue;
+                    };
+                    scratch.push_li.push(li as u32);
+                    scratch.push_vc.push(vc.index() as u8);
+                    scratch.push_flit.push(t.flit);
+                }
+                RouteTarget::Eject { .. } => {
+                    scratch.live_delta -= 1;
+                    if shared.killed.contains(t.flit.worm) {
+                        scratch.counters.flits_dropped_killed += 1;
+                        receivers_s[local].discard(t.flit.worm);
+                        continue;
+                    }
+                    let delivered = receivers_s[local].on_flit(now, t.flit);
+                    scratch.delivered.extend(delivered);
+                }
+            }
+        }
+    }
+    if shared.trace_on {
+        let mut streaks = std::mem::take(&mut scratch.streaks);
+        for &n in &ids {
+            let local = n as usize - node_lo;
+            streaks.clear();
+            routers_s[local].drain_streaks_into(&mut streaks);
+            for st in &streaks {
+                if let Some(li) = shared.out_link[n as usize][st.port.index()] {
+                    scratch.streak_events.push(Event::LinkStall {
+                        at: st.since,
+                        link: shared.link_ids[li],
+                        cause: st.cause,
+                        cycles: st.cycles,
+                    });
+                }
+            }
+        }
+        scratch.streaks = streaks;
+    }
+    for &n in &ids {
+        let local = n as usize - node_lo;
+        let r = &routers_s[local];
+        if r.total_occupancy() > 0 || r.has_open_streaks() {
+            router_set.insert(n);
+        }
+    }
+    ids.clear();
+    scratch.ids = ids;
+    scratch.traversals = traversals;
+}

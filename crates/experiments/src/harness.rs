@@ -12,6 +12,12 @@ use std::sync::{Mutex, PoisonError};
 /// back to `CR_JOBS` / available parallelism at sweep time).
 static JOBS: AtomicUsize = AtomicUsize::new(0);
 
+/// Session-wide shard-count override set by `--shards N` (0 = unset,
+/// fall back to `CR_SHARDS` / serial at build time). Shard count is an
+/// execution strategy: any value produces byte-identical results
+/// (DESIGN.md §12), so this knob never appears in printed output.
+static SHARDS: AtomicUsize = AtomicUsize::new(0);
+
 /// Session-wide event-trace dump path set by `--trace <path>` (`None`
 /// = tracing off, the default). Guarded by a mutex because sweeps run
 /// [`measure`] points on worker threads.
@@ -93,6 +99,22 @@ pub fn set_jobs(jobs: usize) {
 pub fn jobs() -> usize {
     match JOBS.load(Ordering::Relaxed) {
         0 => cr_sim::pool::effective_jobs(None),
+        n => n,
+    }
+}
+
+/// Pins the spatial shard count for every network subsequently built
+/// through [`run_report`] / [`measure`] (the `--shards N` flag).
+/// `set_shards(1)` restores the serial stepper.
+pub fn set_shards(shards: usize) {
+    SHARDS.store(shards.max(1), Ordering::Relaxed);
+}
+
+/// The shard count runs are currently built with: the [`set_shards`]
+/// override if present, else `CR_SHARDS`, else serial (1).
+pub fn shards() -> usize {
+    match SHARDS.load(Ordering::Relaxed) {
+        0 => cr_sim::shard::effective_shards(None),
         n => n,
     }
 }
@@ -217,8 +239,11 @@ impl Scale {
     /// Also applies a `--jobs N` / `--jobs=N` flag (via [`set_jobs`])
     /// so every experiment binary accepts the sweep-parallelism knob
     /// without its own flag plumbing; without the flag, sweeps use
-    /// `CR_JOBS` or all available cores. Results are identical either
-    /// way — only wall clock changes.
+    /// `CR_JOBS` or all available cores. Likewise `--shards N` /
+    /// `--shards=N` (via [`set_shards`]) selects the spatial shard
+    /// count for every network built, defaulting to `CR_SHARDS` or
+    /// serial. Results are identical either way — only wall clock
+    /// changes.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let mut it = args.iter();
@@ -229,6 +254,12 @@ impl Scale {
                 }
             } else if let Some(n) = a.strip_prefix("--jobs=").and_then(|v| v.parse().ok()) {
                 set_jobs(n);
+            } else if a == "--shards" {
+                if let Some(n) = it.next().and_then(|v| v.parse().ok()) {
+                    set_shards(n);
+                }
+            } else if let Some(n) = a.strip_prefix("--shards=").and_then(|v| v.parse().ok()) {
+                set_shards(n);
             } else if a == "--trace" {
                 if let Some(p) = it.next() {
                     apply_trace_arg(p);
@@ -298,12 +329,19 @@ pub fn measure(builder: &mut NetworkBuilder, scale: Scale) -> MeasuredPoint {
     MeasuredPoint::from_report(&run_report(builder, scale))
 }
 
-/// Builds the network, honouring the process-wide `--trace` sink: when
+/// Builds the network, honouring the process-wide `--trace` sink (when
 /// tracing is active the network gets a bounded event ring sized
-/// [`TRACE_RING_CAPACITY`]. Pair with [`finish_run`].
+/// [`TRACE_RING_CAPACITY`]) and the process-wide `--shards` setting.
+/// Pair with [`finish_run`].
 pub(crate) fn build_traced(builder: &mut NetworkBuilder) -> cr_core::Network {
     if trace_active() {
         builder.trace(TRACE_RING_CAPACITY);
+    }
+    match SHARDS.load(Ordering::Relaxed) {
+        0 => {}
+        n => {
+            builder.shards(n);
+        }
     }
     builder.build()
 }

@@ -63,5 +63,8 @@ pub mod tab_padding;
 pub mod tab_pds;
 pub mod table;
 
-pub use harness::{run_report, set_trace_path, sweep, trace_active, MeasuredPoint, Scale, SweepRunner};
+pub use harness::{
+    run_report, set_shards, set_trace_path, shards, sweep, trace_active, MeasuredPoint, Scale,
+    SweepRunner,
+};
 pub use table::Table;

@@ -28,12 +28,14 @@ pub const SPAWN_EXEMPT_FILES: &[&str] = &["crates/sim/src/pool.rs"];
 /// here kills a whole sweep worker mid-run.
 pub const PANIC_RULE_FILES: &[&str] = &[
     "crates/core/src/network.rs",
+    "crates/core/src/network_sharded.rs",
     "crates/core/src/injector.rs",
     "crates/core/src/receiver.rs",
     "crates/core/src/killmap.rs",
     "crates/router/src/router.rs",
     "crates/sim/src/fifo.rs",
     "crates/sim/src/sched.rs",
+    "crates/sim/src/shard.rs",
     "crates/faults/src/lib.rs",
     "crates/experiments/src/harness.rs",
 ];

@@ -162,18 +162,26 @@ impl Scan<'_> {
             return;
         }
         for (i, t) in self.toks.iter().enumerate() {
-            if t.is_ident("spawn")
+            let spawn = t.is_ident("spawn")
                 && self.next_is(i, '(')
-                && (self.prev_is(i, '.') || self.prev_is(i, ':'))
-                && self.is_shipping(t.line)
-            {
+                && (self.prev_is(i, '.') || self.prev_is(i, ':'));
+            // `thread::scope` is a spawn in scoped clothing: shard
+            // workers and sweep points alike must go through the pool.
+            let scope = t.is_ident("scope")
+                && self.next_is(i, '(')
+                && self.prev_is(i, ':')
+                && i >= 3
+                && self.toks[i - 3].is_ident("thread");
+            if (spawn || scope) && self.is_shipping(t.line) {
                 self.diag(
                     out,
                     t,
                     "thread-spawn",
-                    "thread spawn outside cr_sim::pool: parallelism must flow through \
-                     the work-stealing pool so results stay identical under any --jobs"
-                        .to_string(),
+                    format!(
+                        "thread {} outside cr_sim::pool: parallelism must flow through \
+                         the work-stealing pool so results stay identical under any --jobs",
+                        if spawn { "spawn" } else { "scope" }
+                    ),
                 );
             }
         }

@@ -137,6 +137,18 @@ impl LinkStats {
         self.stall_busy + self.stall_dead_link + self.stall_backpressure
     }
 
+    /// Accumulates `other` into `self` field by field. All fields are
+    /// plain `u64` sums, so merging per-shard accumulators in any
+    /// order yields the same totals the serial stepper counts — this
+    /// is what lets the sharded stepper fold per-router stats into
+    /// one `SimReport` deterministically.
+    pub fn merge(&mut self, other: &LinkStats) {
+        self.flits_forwarded += other.flits_forwarded;
+        self.stall_busy += other.stall_busy;
+        self.stall_dead_link += other.stall_dead_link;
+        self.stall_backpressure += other.stall_backpressure;
+    }
+
     /// The stalled-cycle count attributed to `cause`.
     pub fn stall_for(&self, cause: StallCause) -> u64 {
         match cause {

@@ -69,7 +69,12 @@ impl<'a> RouteCtx<'a> {
 /// lives in the header flit (`hops`, `escaped`), so that killing and
 /// retransmitting a message fully resets its routing state — a property
 /// Compressionless Routing relies on.
-pub trait RoutingFunction: std::fmt::Debug {
+///
+/// Implementations are stateless decision tables (all randomness comes
+/// through the caller-supplied `RouteCtx` RNG), and the sharded
+/// stepper routes on several shards concurrently against one shared
+/// routing object — hence the `Send + Sync` bound.
+pub trait RoutingFunction: std::fmt::Debug + Send + Sync {
     /// Appends candidates for the header `ctx.flit` at `ctx.node`, in
     /// priority order (the router takes the first free one).
     ///

@@ -58,6 +58,7 @@ pub mod json;
 pub mod pool;
 pub mod rng;
 pub mod sched;
+pub mod shard;
 pub mod trace;
 
 pub use cycle::Cycle;

@@ -7,11 +7,13 @@
 #
 # Defaults: candidate = target/bench/BENCH_sweep.json (the last bench
 # run), baseline = BENCH_sweep.json (the committed repo-root
-# snapshot). Benchmarks present in only one file (newly added or
-# retired) are reported but do not fail the check; wall-clock noise is
-# absorbed by the generous threshold, which exists to catch scheduler
-# or executor regressions an order smaller than the ones the
-# active-set work targets.
+# snapshot). Candidate-only benchmarks are additions: reported, never
+# a failure. Baseline benchmarks missing from the candidate mean the
+# bench silently stopped measuring something — that fails, the same
+# way a vanished test would. Wall-clock noise is absorbed by the
+# generous threshold, which exists to catch scheduler or executor
+# regressions an order smaller than the ones the active-set work
+# targets.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -44,7 +46,9 @@ fail=0
 while read -r name base_cps; do
     new_cps="$(awk -v n="$name" '$1 == n { print $2 }' /tmp/bench_candidate.$$)"
     if [ -z "$new_cps" ]; then
-        echo "bench_compare: note — '$name' missing from candidate (retired?)"
+        echo "bench_compare: FAIL — '$name' disappeared from candidate" \
+             "(retire it from the baseline explicitly if intended)" >&2
+        fail=1
         continue
     fi
     if [ "$base_cps" -eq 0 ]; then

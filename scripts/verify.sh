@@ -55,6 +55,16 @@ if ! diff -q "$tmpdir/tiny_serial.txt" "$tmpdir/tiny_parallel.txt" > /dev/null; 
 fi
 echo "verify: parallel --tiny output identical to serial"
 
+# The sharded stepper must be byte-identical too: the same battery at
+# --shards 4 (spatial sharding, DESIGN.md §12) against the serial run.
+./target/release/all --tiny --jobs 1 --shards 4 > "$tmpdir/tiny_sharded.txt"
+if ! diff -q "$tmpdir/tiny_serial.txt" "$tmpdir/tiny_sharded.txt" > /dev/null; then
+    echo "verify: FAIL — --shards 4 --tiny output differs from serial" >&2
+    diff "$tmpdir/tiny_serial.txt" "$tmpdir/tiny_sharded.txt" | head -40 >&2
+    exit 1
+fi
+echo "verify: sharded --tiny output identical to serial"
+
 # Tracing must be record-only: a runner's measured output is
 # byte-identical with and without --trace, and the dumped JSON-lines
 # trace parses with the full protocol lifecycle present
