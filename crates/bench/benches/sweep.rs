@@ -175,6 +175,55 @@ fn run_idle(case: IdleCase, dense: bool) -> u64 {
     net.now().as_u64()
 }
 
+/// FCR riding out a live kill-and-revive storm (DESIGN.md §13): a
+/// seeded set of regional outages fires while a finite message trace
+/// drains. Exercises the churn hot path — per-cycle schedule checks,
+/// dead-out flag flips, drain trackers, and the sharded arrivals
+/// gate flipping parallel -> serial -> parallel.
+fn churn_net() -> Network {
+    let topo = KAryNCube::torus(8, 2);
+    let mut schedule = cr_faults::ChurnSchedule::new();
+    schedule.random_regional_outages(
+        &topo,
+        4,
+        Cycle::new(500),
+        Cycle::new(4_000),
+        1,
+        300,
+        900,
+        &mut SimRng::from_seed(0x5708),
+    );
+    let mut b = NetworkBuilder::new(KAryNCube::torus(8, 2));
+    b.routing(RoutingKind::AdaptiveMisroute {
+        vcs: 1,
+        extra_hops: 6,
+    })
+    .protocol(ProtocolKind::Fcr)
+    .churn(schedule)
+    .warmup(0)
+    .seed(0xC4A2);
+    let mut net = b.build();
+    let events: Vec<TraceEvent> = (0..256u64)
+        .map(|k| TraceEvent {
+            at: Cycle::new(k * 20),
+            src: NodeId::new((k.wrapping_mul(797) % 64) as u32),
+            dst: NodeId::new(((k.wrapping_mul(2531) + 33) % 64) as u32),
+            length: 16,
+        })
+        .filter(|e| e.src != e.dst)
+        .collect();
+    net.schedule_trace(&Trace::from_events(events));
+    net
+}
+
+/// Drains the churn storm to quiescence; returns the final cycle.
+fn run_churn_storm() -> u64 {
+    let mut net = churn_net();
+    let done = net.run_until_quiescent(2_000_000);
+    assert!(done, "churn storm must drain");
+    net.now().as_u64()
+}
+
 /// The large-topology shapes (see the module docs).
 #[derive(Clone, Copy)]
 enum LargeCase {
@@ -332,6 +381,15 @@ fn main() {
         g.bench_cycles(name, cycles, || run_idle(case, false));
         g.sample_size(5);
         g.bench_cycles(&format!("{name}_dense"), cycles, || run_idle(case, true));
+    }
+
+    // Live-churn storm drain: FCR through seeded regional outages
+    // (kill-and-revive) with a finite trace. Tracks the cost of the
+    // per-cycle churn machinery plus the storm's protocol traffic.
+    {
+        let cycles = run_churn_storm();
+        g.sample_size(10);
+        g.bench_cycles("churn_storm_drain", cycles, run_churn_storm);
     }
 
     // Large-topology family: zoo fabrics at sizes only the active-set

@@ -182,6 +182,15 @@ impl NetworkBuilder {
         self
     }
 
+    /// Installs a live churn schedule (kill/revive events applied at
+    /// cycle boundaries; see [`cr_faults::ChurnSchedule`]). Composes
+    /// with [`NetworkBuilder::faults`]: call it after, or the new
+    /// fault model replaces the schedule too.
+    pub fn churn(&mut self, schedule: cr_faults::ChurnSchedule) -> &mut Self {
+        self.faults.set_churn(schedule);
+        self
+    }
+
     /// Attaches open-loop Bernoulli traffic: `load` flits per node per
     /// cycle, destinations from `pattern`, lengths from `lengths`.
     pub fn traffic(

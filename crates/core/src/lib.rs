@@ -64,5 +64,5 @@ pub use config::{Ablations, NetworkConfig, ProtocolKind, RoutingKind};
 pub use injector::{Injector, InjectorState, PendingMessage};
 pub use network::Network;
 pub use receiver::{DeliveredMessage, Receiver};
-pub use report::{NetCounters, SimReport, TraceSummary};
+pub use report::{ChurnEventReport, ChurnSummary, NetCounters, SimReport, TraceSummary};
 pub use retransmit::RetransmitScheme;

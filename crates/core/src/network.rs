@@ -38,8 +38,8 @@ use crate::config::NetworkConfig;
 use crate::injector::{Injector, PendingMessage};
 use crate::killmap::KilledMap;
 use crate::receiver::Receiver;
-use crate::report::{NetCounters, SimReport, TraceSummary};
-use cr_faults::FaultModel;
+use crate::report::{ChurnEventReport, ChurnSummary, NetCounters, SimReport, TraceSummary};
+use cr_faults::{ChurnFiring, FaultModel};
 use cr_metrics::{LatencyRecorder, ThroughputMeter};
 use cr_router::{
     Flit, LinkStallStreak, LinkStats, PortKind, RouteTarget, Router, RouterConfig,
@@ -77,6 +77,27 @@ struct Token {
 /// Sentinel in `worm_sources` for delivered messages.
 const SOURCE_GONE: u32 = u32::MAX;
 
+/// Per-fired-churn-event drain bookkeeping: which in-flight messages
+/// the event touched, and when the last of them left the network.
+#[derive(Debug)]
+struct ChurnTracker {
+    /// Cycle the event actually applied (always == the scheduled
+    /// cycle; fast-forward treats pending churn as a wake source).
+    at: Cycle,
+    kind: &'static str,
+    subject: u64,
+    links_killed: u64,
+    links_revived: u64,
+    /// Messages in flight on the affected links when the event fired;
+    /// entries are retired as they deliver (`worm_sources` goes to
+    /// [`SOURCE_GONE`]).
+    affected: Vec<MessageId>,
+    /// `affected.len()` at fire time (the report field; `affected`
+    /// itself shrinks as messages drain).
+    affected_total: u64,
+    drained_at: Option<Cycle>,
+}
+
 /// A complete simulated network. Build one with
 /// [`NetworkBuilder`](crate::NetworkBuilder).
 pub struct Network {
@@ -98,6 +119,9 @@ pub struct Network {
     link_head: Vec<(usize, PortId)>,
     /// `link_ids[link]` = the topology's `LinkId` (fault-model key).
     link_ids: Vec<cr_sim::LinkId>,
+    /// Inverse of `link_ids`: `link_by_id[id.index()]` = original link
+    /// index (`u32::MAX` for ids the topology never handed out).
+    link_by_id: Vec<u32>,
     /// `in_upstream[node][in_port]` = (upstream node, upstream output
     /// port).
     in_upstream: Vec<Vec<Option<(usize, PortId)>>>,
@@ -213,6 +237,17 @@ pub struct Network {
     /// Worker-thread override for the sharded stepper (tests force >1
     /// on single-core machines); `None` = available parallelism.
     shard_threads: Option<usize>,
+
+    // --- live fault churn state (DESIGN.md §13) ---
+    /// Scratch for [`cr_faults::FaultModel::apply_churn_due`], reused
+    /// across cycles.
+    churn_firings: Vec<ChurnFiring>,
+    /// One tracker per fired churn event, in firing order (the
+    /// report's `churn.events` rows).
+    churn_trackers: Vec<ChurnTracker>,
+    /// Trackers still waiting on affected messages to deliver — the
+    /// O(1) gate on the per-cycle drain check.
+    churn_undrained: usize,
 }
 
 impl std::fmt::Debug for Network {
@@ -234,7 +269,7 @@ impl Network {
         topo: Box<dyn Topology>,
         cfg: NetworkConfig,
         routing: Box<dyn RoutingFunction>,
-        faults: FaultModel,
+        mut faults: FaultModel,
         sources: Vec<TrafficSource>,
         offered_load: f64,
         shards: usize,
@@ -346,9 +381,24 @@ impl Network {
             link_shard[pi] = s as u16;
         }
 
+        // `LinkId` -> original link index, for resolving churn firings
+        // back to link state.
+        let max_id = descs.iter().map(|d| d.id.index() + 1).max().unwrap_or(0);
+        let mut link_by_id = vec![u32::MAX; max_id];
+        for (idx, d) in descs.iter().enumerate() {
+            link_by_id[d.id.index()] = idx as u32;
+        }
+
+        // Regional outages expand to concrete kill/revive pairs once,
+        // against this topology, so the per-cycle churn check is a
+        // plain cursor compare.
+        faults.expand_churn(&*topo);
+
         // Routers learn their dead outgoing links up front (the
         // diagnosed-fault model; undiagnosed behaviour still works via
         // corruption detection, this just lets adaptivity avoid them).
+        // Churn events update these flags live as they fire — the
+        // marking is state, not a construction-time-only decision.
         for d in &descs {
             if faults.is_dead(d.id) {
                 routers[d.src.index()].set_dead_out(d.src_port);
@@ -409,7 +459,11 @@ impl Network {
             out_link,
             link_head,
             link_ids,
+            link_by_id,
             in_upstream,
+            churn_firings: Vec::new(),
+            churn_trackers: Vec::new(),
+            churn_undrained: 0,
             killed: KilledMap::new(),
             registry_lifetime,
             fwd_tokens: Vec::new(),
@@ -740,6 +794,12 @@ impl Network {
     pub fn step(&mut self) {
         let now = self.now;
 
+        // Live churn fires first, as serial orchestrator code shared
+        // by every stepper — dense, active, and sharded all see the
+        // same dead-link set for the whole cycle, which is what keeps
+        // them byte-identical under churn (DESIGN.md §13).
+        self.apply_churn(now);
+
         if self.reference_stepper {
             self.phase_arrivals_dense(now);
             self.phase_tokens(now);
@@ -881,9 +941,114 @@ impl Network {
             latency_histogram: self.latency.histogram().clone(),
             counters,
             trace,
+            churn: ChurnSummary {
+                events: self
+                    .churn_trackers
+                    .iter()
+                    .map(|t| ChurnEventReport {
+                        at: t.at.as_u64(),
+                        kind: t.kind.to_string(),
+                        subject: t.subject,
+                        links_killed: t.links_killed,
+                        links_revived: t.links_revived,
+                        affected_messages: t.affected_total,
+                        drained: t.drained_at.is_some(),
+                        time_to_drain: t.drained_at.map(|d| d - t.at).unwrap_or(0),
+                    })
+                    .collect(),
+            },
             deadlocked: self.deadlocked,
             flits_in_flight: self.flits_in_flight(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Live fault churn (DESIGN.md §13)
+    // ------------------------------------------------------------------
+
+    /// Fires every churn entry due at cycle `now`: flips the fault
+    /// model's dead-link set, keeps the upstream routers' dead-out
+    /// flags in sync (the diagnosed-fault model is live state, not a
+    /// construction-time decision), re-arms revived endpoints in the
+    /// active sets, emits `link_killed` / `link_revived` trace events,
+    /// and opens one drain tracker per event.
+    ///
+    /// Runs as serial orchestrator code at the top of [`Network::step`]
+    /// before any phase, so all three steppers observe the same
+    /// dead-link set for the whole cycle. Flits already in flight on a
+    /// killed link are *not* flushed here: corruption is assessed at
+    /// arrival time (`scan_link_arrivals` reads the live fault model),
+    /// exactly as with static faults.
+    fn apply_churn(&mut self, now: Cycle) {
+        match self.faults.next_churn_at() {
+            Some(at) if at <= now => {}
+            _ => return,
+        }
+        let mut firings = std::mem::take(&mut self.churn_firings);
+        firings.clear();
+        self.faults.apply_churn_due(&*self.topo, now, &mut firings);
+        let num_vcs = self.routing.num_vcs();
+        for f in &firings {
+            let mut affected: Vec<MessageId> = Vec::new();
+            for &id in &f.killed {
+                let li = self.link_by_id[id.index()] as usize;
+                let (dst, dst_port) = self.link_head[li];
+                if let Some((src, src_port)) = self.in_upstream[dst][dst_port.index()] {
+                    self.routers[src].set_dead_out(src_port);
+                    // Worms holding the upstream output are stranded
+                    // mid-transmission by this kill.
+                    for v in 0..num_vcs {
+                        let vc = VcId::new(v as u8);
+                        if let Some((ip, ivc)) = self.routers[src].output_owner(src_port, vc) {
+                            if let Some(w) = self.routers[src].worm_of(ip, ivc) {
+                                affected.push(w.message);
+                            }
+                        }
+                    }
+                }
+                // Flits already on the wire arrive corrupted.
+                let pi = self.link_perm[li] as usize;
+                for lane in &self.links[pi].lanes {
+                    for (_, flit) in lane {
+                        affected.push(flit.worm.message);
+                    }
+                }
+                self.trace.emit(|| Event::LinkKilled { at: now, link: id });
+            }
+            for &id in &f.revived {
+                let li = self.link_by_id[id.index()] as usize;
+                let (dst, dst_port) = self.link_head[li];
+                if let Some((src, src_port)) = self.in_upstream[dst][dst_port.index()] {
+                    self.routers[src].clear_dead_out(src_port);
+                    // Re-arm the upstream endpoint: a worm parked there
+                    // waiting out the dead port must be reconsidered by
+                    // the active stepper (dense sweeps everything
+                    // anyway; extra set members are no-op skips, so
+                    // byte-identity holds).
+                    self.arm_router(src);
+                }
+                self.arm_router(dst);
+                self.trace.emit(|| Event::LinkRevived { at: now, link: id });
+            }
+            affected.retain(|m| self.worm_sources[m.as_u64() as usize] != SOURCE_GONE);
+            affected.sort_unstable();
+            affected.dedup();
+            let drained_at = if affected.is_empty() { Some(now) } else { None };
+            if drained_at.is_none() {
+                self.churn_undrained += 1;
+            }
+            self.churn_trackers.push(ChurnTracker {
+                at: now,
+                kind: f.event.kind(),
+                subject: f.event.subject(),
+                links_killed: f.killed.len() as u64,
+                links_revived: f.revived.len() as u64,
+                affected_total: affected.len() as u64,
+                affected,
+                drained_at,
+            });
+        }
+        self.churn_firings = firings;
     }
 
     // ------------------------------------------------------------------
@@ -1450,6 +1615,24 @@ impl Network {
         if now.as_u64().is_multiple_of(256) {
             self.prune_registries(now);
         }
+        if self.churn_undrained > 0 {
+            // Retire delivered messages from open churn trackers.
+            // Deliveries only happen on stepped cycles and bookkeeping
+            // runs on every stepped cycle, so `drained_at` lands on
+            // the same cycle under every stepper.
+            let sources = &self.worm_sources;
+            for t in &mut self.churn_trackers {
+                if t.drained_at.is_some() {
+                    continue;
+                }
+                t.affected
+                    .retain(|m| sources[m.as_u64() as usize] != SOURCE_GONE);
+                if t.affected.is_empty() {
+                    t.drained_at = Some(now);
+                    self.churn_undrained -= 1;
+                }
+            }
+        }
         if now.saturating_since(self.last_progress) > self.cfg.deadlock_threshold
             && self.flits_in_flight() > 0
         {
@@ -1547,6 +1730,15 @@ impl Network {
                 return;
             }
             target = target.min(e.at);
+        }
+        if let Some(at) = self.faults.next_churn_at() {
+            // Pending churn is a wake source: the event cycle itself is
+            // always stepped, never jumped past, so churn applies at
+            // exactly the dense cycle.
+            if at <= now {
+                return;
+            }
+            target = target.min(at);
         }
         if self.live_flits > 0 {
             // First cycle at which `saturating_since(last_progress) >

@@ -190,6 +190,13 @@ impl Network {
         // link and its destination router — both shard-owned — and
         // the only cross-shard effect (upstream credits for
         // killed-worm drops) commutes and is buffered to the barrier.
+        //
+        // Deliberately re-evaluated every cycle against the *live*
+        // fault model, not cached at construction: churn flips
+        // `num_dead_links` mid-run, and a cached answer would let the
+        // parallel path race corruption kills after a mid-run
+        // `kill_link` (or keep the slow serial path after the last
+        // `revive_link`).
         let parallel_ok = self.faults.transient_rate() == 0.0
             && (self.faults.num_dead_links() == 0 || !self.cfg.protocol.detects_faults());
         if !parallel_ok {

@@ -3,8 +3,8 @@
 //! paper-scale run takes a while.
 
 use cr_experiments::{
-    ext_ablation, ext_distribution, ext_par, ext_nonuniform, fig09, fig10, fig11, fig12, fig14ab, fig14cd, fig14ef,
-    fig15, fig16, showdown, tab_hardware, tab_padding, tab_pds, Scale,
+    churn, ext_ablation, ext_distribution, ext_par, ext_nonuniform, fig09, fig10, fig11, fig12,
+    fig14ab, fig14cd, fig14ef, fig15, fig16, showdown, tab_hardware, tab_padding, tab_pds, Scale,
 };
 
 fn main() {
@@ -35,4 +35,5 @@ fn main() {
     run!(ext_nonuniform);
     run!(ext_par);
     run!(showdown);
+    run!(churn);
 }

@@ -13,7 +13,7 @@ use cr_sim::Json;
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-const KNOWN_TYPES: [&str; 7] = [
+const KNOWN_TYPES: [&str; 9] = [
     "inject",
     "commit",
     "kill",
@@ -21,6 +21,8 @@ const KNOWN_TYPES: [&str; 7] = [
     "deliver",
     "corruption_detected",
     "link_stall",
+    "link_killed",
+    "link_revived",
 ];
 
 fn main() -> ExitCode {

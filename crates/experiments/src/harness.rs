@@ -27,6 +27,47 @@ static TRACE_PATH: Mutex<Option<std::path::PathBuf>> = Mutex::new(None);
 /// a full tiny/quick run's events without drops.
 const TRACE_RING_CAPACITY: usize = 1 << 16;
 
+/// Session-wide churn plan set by `--churn <plan.json>` (`None` = no
+/// live churn, the default). Every network built through
+/// [`build_traced`] gets a clone of the schedule. Guarded by a mutex
+/// because sweeps build networks on worker threads.
+static CHURN_PLAN: Mutex<Option<cr_faults::ChurnSchedule>> = Mutex::new(None);
+
+/// Installs a churn schedule on every network subsequently built
+/// through [`run_report`] / [`measure`] (the `--churn <plan.json>`
+/// flag). `None` turns live churn back off.
+pub fn set_churn_plan(plan: Option<cr_faults::ChurnSchedule>) {
+    *CHURN_PLAN.lock().unwrap_or_else(PoisonError::into_inner) = plan;
+}
+
+/// The active session-wide churn schedule, if any.
+pub fn churn_plan() -> Option<cr_faults::ChurnSchedule> {
+    CHURN_PLAN
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+/// Applies a `--churn` argument: reads and parses the plan file,
+/// exiting with a diagnostic on failure — flag parsing has no caller
+/// to hand the error to.
+fn apply_churn_arg(p: &str) {
+    let text = match std::fs::read_to_string(p) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read --churn plan {p}: {e}");
+            std::process::exit(2);
+        }
+    };
+    match cr_faults::ChurnSchedule::from_json_str(&text) {
+        Ok(plan) => set_churn_plan(Some(plan)),
+        Err(e) => {
+            eprintln!("error: invalid --churn plan {p}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Points every subsequent [`measure`] at a JSON-lines trace dump (the
 /// `--trace <path>` flag). The file is created (truncated) here; each
 /// traced run appends its events as one JSON object per line. `None`
@@ -243,7 +284,9 @@ impl Scale {
     /// `--shards=N` (via [`set_shards`]) selects the spatial shard
     /// count for every network built, defaulting to `CR_SHARDS` or
     /// serial. Results are identical either way — only wall clock
-    /// changes.
+    /// changes. A `--churn <plan.json>` flag (via [`set_churn_plan`])
+    /// installs a live kill/revive schedule on every network built;
+    /// the plan's JSON schema is documented in `EXPERIMENTS.md`.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let mut it = args.iter();
@@ -266,6 +309,12 @@ impl Scale {
                 }
             } else if let Some(p) = a.strip_prefix("--trace=") {
                 apply_trace_arg(p);
+            } else if a == "--churn" {
+                if let Some(p) = it.next() {
+                    apply_churn_arg(p);
+                }
+            } else if let Some(p) = a.strip_prefix("--churn=") {
+                apply_churn_arg(p);
             }
         }
         if args.iter().any(|a| a == "--tiny") {
@@ -336,6 +385,9 @@ pub fn measure(builder: &mut NetworkBuilder, scale: Scale) -> MeasuredPoint {
 pub(crate) fn build_traced(builder: &mut NetworkBuilder) -> cr_core::Network {
     if trace_active() {
         builder.trace(TRACE_RING_CAPACITY);
+    }
+    if let Some(plan) = churn_plan() {
+        builder.churn(plan);
     }
     match SHARDS.load(Ordering::Relaxed) {
         0 => {}

@@ -26,6 +26,7 @@
 //! | [`tab_padding`] | Padding-overhead table — CR padding vs message length and network depth |
 //! | [`ext_nonuniform`] | Extension — CR vs DOR on non-uniform traffic |
 //! | [`showdown`] | Extension — topology-zoo showdown: CR vs DOR vs the zero-VC full-mesh scheme |
+//! | [`churn`] | Extension — live fault churn: CR vs FCR vs DOR through a kill-and-revive storm |
 //!
 //! # Examples
 //!
@@ -43,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
 pub mod ext_ablation;
 pub mod ext_distribution;
 pub mod ext_nonuniform;
@@ -64,7 +66,7 @@ pub mod tab_pds;
 pub mod table;
 
 pub use harness::{
-    run_report, set_shards, set_trace_path, shards, sweep, trace_active, MeasuredPoint, Scale,
-    SweepRunner,
+    churn_plan, run_report, set_churn_plan, set_shards, set_trace_path, shards, sweep,
+    trace_active, MeasuredPoint, Scale, SweepRunner,
 };
 pub use table::Table;

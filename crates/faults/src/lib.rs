@@ -32,7 +32,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use cr_sim::{LinkId, NodeId, SimRng};
+mod churn;
+
+pub use churn::{region_links, ChurnEntry, ChurnEvent, ChurnParseError, ChurnSchedule};
+
+use cr_sim::{Cycle, LinkId, NodeId, SimRng};
 use cr_topology::Topology;
 use std::collections::BTreeSet;
 
@@ -50,6 +54,32 @@ pub struct FaultModel {
     // experiment harness may fold this into reported output (cr-lint
     // `hash-collections`).
     dead_links: BTreeSet<LinkId>,
+    // Online fault timeline: entries fire at cycle boundaries, in
+    // order, advancing `churn_cursor`. Empty for static fault plans.
+    churn: ChurnSchedule,
+    churn_cursor: usize,
+}
+
+/// The observable effect of one fired [`ChurnEntry`]: which channels
+/// actually changed state, in ascending link-id order.
+///
+/// No-op transitions (killing a dead link, reviving a live one) are
+/// filtered out, so consumers can treat `killed`/`revived` as real
+/// edges of the fault state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChurnFiring {
+    /// Index of the entry within the schedule (stable event identity
+    /// for reports).
+    pub index: usize,
+    /// Cycle at which the entry was scheduled (== the cycle it fired;
+    /// the stepper never skips a due entry).
+    pub at: Cycle,
+    /// The scheduled event.
+    pub event: ChurnEvent,
+    /// Channels that transitioned alive → dead.
+    pub killed: Vec<LinkId>,
+    /// Channels that transitioned dead → alive.
+    pub revived: Vec<LinkId>,
 }
 
 impl FaultModel {
@@ -104,15 +134,71 @@ impl FaultModel {
         self
     }
 
+    /// Heals a dead link. Returns `true` if the link was dead (i.e.
+    /// this call changed the fault state).
+    pub fn revive_link(&mut self, link: LinkId) -> bool {
+        self.dead_links.remove(&link)
+    }
+
     /// Marks every channel touching `node` dead, simulating a failed
-    /// router.
-    pub fn kill_node(&mut self, topology: &dyn Topology, node: NodeId) -> &mut Self {
+    /// router, and returns the links this call actually killed (those
+    /// that were alive), in ascending id order — the rollback handle a
+    /// caller needs to undo exactly this kill and nothing else.
+    ///
+    /// No connectivity check is performed: killing a node always
+    /// disconnects it from the fabric. Use
+    /// [`FaultModel::kill_node_connected`] when the *surviving* nodes
+    /// must remain strongly connected.
+    pub fn kill_node(&mut self, topology: &dyn Topology, node: NodeId) -> Vec<LinkId> {
+        let mut killed = Vec::new();
         for l in topology.links() {
-            if l.src == node || l.dst == node {
-                self.dead_links.insert(l.id);
+            if (l.src == node || l.dst == node) && self.dead_links.insert(l.id) {
+                killed.push(l.id);
             }
         }
-        self
+        killed.sort();
+        killed
+    }
+
+    /// Like [`FaultModel::kill_node`], but rejects (and rolls back)
+    /// the kill if the surviving nodes would no longer be strongly
+    /// connected among themselves — so a churn plan cannot silently
+    /// partition the live part of the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FaultPlanError::WouldPartition`] if removing `node`'s
+    /// channels (on top of the already-dead set) disconnects the
+    /// remaining nodes; the dead-link set is left exactly as it was.
+    pub fn kill_node_connected(
+        &mut self,
+        topology: &dyn Topology,
+        node: NodeId,
+    ) -> Result<Vec<LinkId>, FaultPlanError> {
+        let killed = self.kill_node(topology, node);
+        if strongly_connected_excluding(topology, &self.dead_links, &[node]) {
+            Ok(killed)
+        } else {
+            for l in &killed {
+                self.dead_links.remove(l);
+            }
+            Err(FaultPlanError::WouldPartition { node })
+        }
+    }
+
+    /// Heals every channel touching `node` — a full router
+    /// replacement. Returns the links this call actually revived
+    /// (those that were dead), in ascending id order. Channels killed
+    /// independently of the node are healed too.
+    pub fn revive_node(&mut self, topology: &dyn Topology, node: NodeId) -> Vec<LinkId> {
+        let mut revived = Vec::new();
+        for l in topology.links() {
+            if (l.src == node || l.dst == node) && self.dead_links.remove(&l.id) {
+                revived.push(l.id);
+            }
+        }
+        revived.sort();
+        revived
     }
 
     /// Returns `true` if `link` is permanently dead.
@@ -131,9 +217,111 @@ impl FaultModel {
     }
 
     /// Returns `true` if there are no permanent faults and the
-    /// transient rate is zero.
-    pub fn is_fault_free(&self) -> bool {
+    /// transient rate is zero *right now*.
+    ///
+    /// Under a churn schedule this can flip from cycle to cycle, so it
+    /// is only safe for per-cycle decisions (the sharded stepper's
+    /// arrivals-phase gate re-reads it every cycle). Whole-run fast
+    /// paths — anything decided once and never revisited, like
+    /// skipping fault RNG for an entire run — must use
+    /// [`FaultModel::will_stay_fault_free`] instead.
+    pub fn is_fault_free_now(&self) -> bool {
         self.dead_links.is_empty() && self.transient_rate == 0.0
+    }
+
+    /// Returns `true` if the model is fault-free now **and** no
+    /// scheduled churn event remains that could change that — the only
+    /// predicate strong enough to justify whole-run shortcuts.
+    pub fn will_stay_fault_free(&self) -> bool {
+        self.is_fault_free_now() && self.churn_cursor >= self.churn.len()
+    }
+
+    /// Installs an online fault timeline. The schedule is applied by
+    /// the network at cycle boundaries via
+    /// [`FaultModel::apply_churn_due`]; generator events should be
+    /// expanded first ([`FaultModel::expand_churn`]).
+    pub fn set_churn(&mut self, schedule: ChurnSchedule) -> &mut Self {
+        self.churn = schedule;
+        self.churn_cursor = 0;
+        self
+    }
+
+    /// The installed churn timeline (empty by default).
+    pub fn churn(&self) -> &ChurnSchedule {
+        &self.churn
+    }
+
+    /// Replaces generator events (regional outages) in the installed
+    /// schedule with the primitive kill/revive entries they stand for,
+    /// now that a topology is known. Resets the cursor; call before
+    /// the run starts (the network does this at assembly).
+    pub fn expand_churn(&mut self, topology: &dyn Topology) {
+        self.churn = self.churn.expanded(topology);
+        self.churn_cursor = 0;
+    }
+
+    /// The cycle of the next unfired churn entry, if any — the wake
+    /// source that keeps fast-forward from sleeping past a mid-idle
+    /// kill.
+    pub fn next_churn_at(&self) -> Option<Cycle> {
+        self.churn.entries().get(self.churn_cursor).map(|e| e.at)
+    }
+
+    /// Fires every churn entry due at or before `now`, mutating the
+    /// dead-link set and appending one [`ChurnFiring`] per entry
+    /// (including no-op firings, whose `killed`/`revived` are empty).
+    ///
+    /// Generator events that survived un-expanded apply their kill
+    /// wave immediately and log it in `killed`; the revive wave is
+    /// lost, which is why the network expands schedules up front.
+    pub fn apply_churn_due(
+        &mut self,
+        topology: &dyn Topology,
+        now: Cycle,
+        out: &mut Vec<ChurnFiring>,
+    ) {
+        while let Some(entry) = self.churn.entries().get(self.churn_cursor) {
+            if entry.at > now {
+                break;
+            }
+            let entry = *entry;
+            let index = self.churn_cursor;
+            self.churn_cursor += 1;
+            let mut firing = ChurnFiring {
+                index,
+                at: entry.at,
+                event: entry.event,
+                killed: Vec::new(),
+                revived: Vec::new(),
+            };
+            match entry.event {
+                ChurnEvent::KillLink { link } => {
+                    if self.dead_links.insert(link) {
+                        firing.killed.push(link);
+                    }
+                }
+                ChurnEvent::ReviveLink { link } => {
+                    if self.dead_links.remove(&link) {
+                        firing.revived.push(link);
+                    }
+                }
+                ChurnEvent::KillNode { node } => {
+                    firing.killed = self.kill_node(topology, node);
+                }
+                ChurnEvent::ReviveNode { node } => {
+                    firing.revived = self.revive_node(topology, node);
+                }
+                ChurnEvent::RegionalOutage { center, radius, .. } => {
+                    debug_assert!(false, "regional outage not expanded before the run");
+                    for link in region_links(topology, center, radius) {
+                        if self.dead_links.insert(link) {
+                            firing.killed.push(link);
+                        }
+                    }
+                }
+            }
+            out.push(firing);
+        }
     }
 
     /// Samples whether a flit traversing a healthy link is corrupted.
@@ -232,6 +420,12 @@ pub enum FaultPlanError {
     },
     /// The topology has no links at all to draw candidates from.
     EmptyNetwork,
+    /// Killing this node would disconnect the surviving nodes from
+    /// each other (see [`FaultModel::kill_node_connected`]).
+    WouldPartition {
+        /// The node whose kill was rejected.
+        node: NodeId,
+    },
 }
 
 impl std::fmt::Display for FaultPlanError {
@@ -244,6 +438,10 @@ impl std::fmt::Display for FaultPlanError {
             FaultPlanError::EmptyNetwork => {
                 write!(f, "the topology has no links to kill")
             }
+            FaultPlanError::WouldPartition { node } => write!(
+                f,
+                "killing node {node} would disconnect the surviving nodes"
+            ),
         }
     }
 }
@@ -253,25 +451,51 @@ impl std::error::Error for FaultPlanError {}
 /// Returns `true` if the network remains strongly connected when the
 /// links in `dead` are removed.
 pub fn strongly_connected(topology: &dyn Topology, dead: &BTreeSet<LinkId>) -> bool {
+    strongly_connected_excluding(topology, dead, &[])
+}
+
+/// Returns `true` if the nodes *not* listed in `excluded` remain
+/// strongly connected among themselves when the links in `dead` are
+/// removed.
+///
+/// This is the right connectivity question for node kills: the killed
+/// node is disconnected by definition, so plain
+/// [`strongly_connected`] always answers `false`; what matters is
+/// whether the survivors can still reach each other.
+pub fn strongly_connected_excluding(
+    topology: &dyn Topology,
+    dead: &BTreeSet<LinkId>,
+    excluded: &[NodeId],
+) -> bool {
     let n = topology.num_nodes();
-    if n == 0 {
+    let mut alive = vec![true; n];
+    for x in excluded {
+        if x.index() < n {
+            alive[x.index()] = false;
+        }
+    }
+    let live_count = alive.iter().filter(|a| **a).count();
+    if live_count <= 1 {
         return true;
     }
-    // Build the surviving adjacency once.
+    // Build the surviving adjacency once, skipping excluded endpoints.
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
     let mut radj: Vec<Vec<usize>> = vec![Vec::new(); n];
     for l in topology.links() {
-        if !dead.contains(&l.id) {
+        if !dead.contains(&l.id) && alive[l.src.index()] && alive[l.dst.index()] {
             adj[l.src.index()].push(l.dst.index());
             radj[l.dst.index()].push(l.src.index());
         }
     }
-    // Strong connectivity <=> node 0 reaches everyone in both the graph
-    // and its reverse.
+    // The lowest live node must reach every live node in both the
+    // graph and its reverse.
+    let Some(root) = alive.iter().position(|a| *a) else {
+        return true;
+    };
     let full_bfs = |g: &Vec<Vec<usize>>| {
         let mut seen = vec![false; n];
-        let mut stack = vec![0usize];
-        seen[0] = true;
+        let mut stack = vec![root];
+        seen[root] = true;
         let mut count = 1;
         while let Some(u) = stack.pop() {
             for &v in &g[u] {
@@ -282,7 +506,7 @@ pub fn strongly_connected(topology: &dyn Topology, dead: &BTreeSet<LinkId>) -> b
                 }
             }
         }
-        count == n
+        count == live_count
     };
     full_bfs(&adj) && full_bfs(&radj)
 }
@@ -295,7 +519,8 @@ mod tests {
     #[test]
     fn default_is_fault_free() {
         let f = FaultModel::new();
-        assert!(f.is_fault_free());
+        assert!(f.is_fault_free_now());
+        assert!(f.will_stay_fault_free());
         assert_eq!(f.num_dead_links(), 0);
         let mut rng = SimRng::from_seed(0);
         assert!(!f.corrupts_flit(&mut rng));
@@ -309,23 +534,149 @@ mod tests {
         assert!(f.is_dead(LinkId::new(5)));
         assert!(!f.is_dead(LinkId::new(6)));
         assert_eq!(f.num_dead_links(), 2);
-        assert!(!f.is_fault_free());
+        assert!(!f.is_fault_free_now());
         let mut dead: Vec<LinkId> = f.dead_links().collect();
         dead.sort();
         assert_eq!(dead, vec![LinkId::new(5), LinkId::new(9)]);
+        assert!(f.revive_link(LinkId::new(5)));
+        assert!(!f.revive_link(LinkId::new(5))); // already alive
+        assert_eq!(f.num_dead_links(), 1);
     }
 
     #[test]
-    fn kill_node_severs_all_its_channels() {
+    fn kill_node_severs_all_its_channels_and_returns_them() {
         let t = KAryNCube::torus(4, 2);
         let mut f = FaultModel::new();
-        f.kill_node(&t, NodeId::new(0));
+        let killed = f.kill_node(&t, NodeId::new(0));
         // A torus node has 4 outgoing and 4 incoming channels.
+        assert_eq!(killed.len(), 8);
         assert_eq!(f.num_dead_links(), 8);
         // Network without node 0's channels is still connected among
         // the others... but strongly_connected checks node 0 too, so it
-        // reports false.
+        // reports false; the excluding variant asks the right question.
         assert!(!strongly_connected(&t, &f.dead_links.clone()));
+        assert!(strongly_connected_excluding(
+            &t,
+            &f.dead_links.clone(),
+            &[NodeId::new(0)]
+        ));
+        // The returned handle rolls back exactly this kill.
+        for l in &killed {
+            f.revive_link(*l);
+        }
+        assert_eq!(f.num_dead_links(), 0);
+    }
+
+    #[test]
+    fn kill_node_returns_only_newly_killed_links() {
+        // A pre-dead link touching the node is not double-reported, so
+        // rolling back the node kill cannot resurrect it.
+        let t = KAryNCube::torus(4, 2);
+        let pre = t.links()[0];
+        assert_eq!(pre.src, NodeId::new(0));
+        let mut f = FaultModel::new();
+        f.kill_link(pre.id);
+        let killed = f.kill_node(&t, NodeId::new(0));
+        assert_eq!(killed.len(), 7);
+        assert!(!killed.contains(&pre.id));
+        for l in &killed {
+            f.revive_link(*l);
+        }
+        assert_eq!(f.num_dead_links(), 1);
+        assert!(f.is_dead(pre.id));
+    }
+
+    #[test]
+    fn kill_node_connected_accepts_and_rejects() {
+        // On a 4x4 torus the survivors stay connected after one node
+        // kill, so the checked variant accepts it.
+        let t = KAryNCube::torus(4, 2);
+        let mut f = FaultModel::new();
+        let killed = f.kill_node_connected(&t, NodeId::new(5)).unwrap();
+        assert_eq!(killed.len(), 8);
+        // On a 3-node path, the middle node is a cut vertex: killing
+        // it strands nodes 0 and 2 from each other.
+        use cr_topology::GraphTopology;
+        let path =
+            GraphTopology::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]).unwrap();
+        let mut g = FaultModel::new();
+        let err = g.kill_node_connected(&path, NodeId::new(1)).unwrap_err();
+        assert_eq!(
+            err,
+            FaultPlanError::WouldPartition {
+                node: NodeId::new(1)
+            }
+        );
+        // Rejection rolled back cleanly.
+        assert_eq!(g.num_dead_links(), 0);
+        // Killing a leaf is fine: the survivors {1, 2} stay connected.
+        let killed = g.kill_node_connected(&path, NodeId::new(0)).unwrap();
+        assert_eq!(killed.len(), 2);
+    }
+
+    #[test]
+    fn revive_node_heals_independent_kills_too() {
+        let t = KAryNCube::torus(4, 2);
+        let mut f = FaultModel::new();
+        let pre = t.links()[0];
+        f.kill_link(pre.id); // independent kill touching node 0
+        f.kill_node(&t, NodeId::new(0));
+        let revived = f.revive_node(&t, NodeId::new(0));
+        assert_eq!(revived.len(), 8); // includes the independent kill
+        assert!(revived.contains(&pre.id));
+        assert_eq!(f.num_dead_links(), 0);
+    }
+
+    #[test]
+    fn will_stay_fault_free_sees_pending_churn() {
+        let t = KAryNCube::torus(4, 2);
+        let mut f = FaultModel::new();
+        let mut plan = ChurnSchedule::new();
+        let victim = t.links()[3].id;
+        plan.kill_link(Cycle::new(10), victim)
+            .revive_link(Cycle::new(20), victim);
+        f.set_churn(plan);
+        // Fault-free now, but a kill is scheduled.
+        assert!(f.is_fault_free_now());
+        assert!(!f.will_stay_fault_free());
+
+        let mut firings = Vec::new();
+        f.apply_churn_due(&t, Cycle::new(9), &mut firings);
+        assert!(firings.is_empty());
+        f.apply_churn_due(&t, Cycle::new(10), &mut firings);
+        assert_eq!(firings.len(), 1);
+        assert_eq!(firings[0].killed, vec![victim]);
+        assert!(f.is_dead(victim));
+        assert!(!f.is_fault_free_now());
+        assert_eq!(f.next_churn_at(), Some(Cycle::new(20)));
+
+        // Jumping past the revive still fires it (exactly once).
+        firings.clear();
+        f.apply_churn_due(&t, Cycle::new(500), &mut firings);
+        assert_eq!(firings.len(), 1);
+        assert_eq!(firings[0].revived, vec![victim]);
+        assert!(f.is_fault_free_now());
+        assert!(f.will_stay_fault_free());
+        assert_eq!(f.next_churn_at(), None);
+    }
+
+    #[test]
+    fn churn_noop_transitions_are_filtered() {
+        let t = KAryNCube::torus(4, 2);
+        let victim = t.links()[0].id;
+        let mut f = FaultModel::new();
+        f.kill_link(victim); // dead before the schedule starts
+        let mut plan = ChurnSchedule::new();
+        plan.kill_link(Cycle::new(5), victim) // no-op: already dead
+            .revive_link(Cycle::new(6), victim)
+            .revive_link(Cycle::new(7), victim); // no-op: already alive
+        f.set_churn(plan);
+        let mut firings = Vec::new();
+        f.apply_churn_due(&t, Cycle::new(100), &mut firings);
+        assert_eq!(firings.len(), 3);
+        assert!(firings[0].killed.is_empty() && firings[0].revived.is_empty());
+        assert_eq!(firings[1].revived, vec![victim]);
+        assert!(firings[2].killed.is_empty() && firings[2].revived.is_empty());
     }
 
     #[test]

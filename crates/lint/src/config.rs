@@ -37,6 +37,7 @@ pub const PANIC_RULE_FILES: &[&str] = &[
     "crates/sim/src/sched.rs",
     "crates/sim/src/shard.rs",
     "crates/faults/src/lib.rs",
+    "crates/faults/src/churn.rs",
     "crates/experiments/src/harness.rs",
 ];
 

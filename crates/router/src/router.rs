@@ -375,6 +375,14 @@ impl Router {
         self.dead_out[port.index()] = true;
     }
 
+    /// Clears the dead marking on `port`'s outgoing link — the link
+    /// was revived and routing functions may use it again. Worms that
+    /// were stalled waiting for an alternative resume on their next
+    /// allocation attempt.
+    pub fn clear_dead_out(&mut self, port: PortId) {
+        self.dead_out[port.index()] = false;
+    }
+
     /// Returns `true` if the outgoing link on `port` is marked dead.
     pub fn is_dead_out(&self, port: PortId) -> bool {
         self.dead_out

@@ -197,6 +197,22 @@ pub enum Event {
         /// Streak length in cycles.
         cycles: u64,
     },
+    /// A churn event killed a channel mid-run (the link transitioned
+    /// alive → dead at this cycle boundary).
+    LinkKilled {
+        /// Cycle boundary at which the kill took effect.
+        at: Cycle,
+        /// The killed channel.
+        link: LinkId,
+    },
+    /// A churn event revived a channel mid-run (the link transitioned
+    /// dead → alive at this cycle boundary).
+    LinkRevived {
+        /// Cycle boundary at which the revival took effect.
+        at: Cycle,
+        /// The revived channel.
+        link: LinkId,
+    },
 }
 
 impl Event {
@@ -211,6 +227,8 @@ impl Event {
             Event::Deliver { .. } => "deliver",
             Event::CorruptionDetected { .. } => "corruption_detected",
             Event::LinkStall { .. } => "link_stall",
+            Event::LinkKilled { .. } => "link_killed",
+            Event::LinkRevived { .. } => "link_revived",
         }
     }
 
@@ -223,7 +241,9 @@ impl Event {
             | Event::RetransmitScheduled { at, .. }
             | Event::Deliver { at, .. }
             | Event::CorruptionDetected { at, .. }
-            | Event::LinkStall { at, .. } => at,
+            | Event::LinkStall { at, .. }
+            | Event::LinkKilled { at, .. }
+            | Event::LinkRevived { at, .. } => at,
         }
     }
 
@@ -312,6 +332,9 @@ impl Event {
                 m.push(("link", Json::U64(link.as_u32() as u64)));
                 m.push(("cause", Json::Str(cause.as_str().to_string())));
                 m.push(("cycles", Json::U64(cycles)));
+            }
+            Event::LinkKilled { link, .. } | Event::LinkRevived { link, .. } => {
+                m.push(("link", Json::U64(link.as_u32() as u64)));
             }
         }
         Json::obj(m)
@@ -477,6 +500,14 @@ mod tests {
                 cause: StallCause::Backpressure,
                 cycles: 12,
             },
+            Event::LinkKilled {
+                at: Cycle::new(100),
+                link: LinkId::new(4),
+            },
+            Event::LinkRevived {
+                at: Cycle::new(150),
+                link: LinkId::new(4),
+            },
         ]
     }
 
@@ -503,7 +534,7 @@ mod tests {
         }
         let out = sink.drain();
         assert_eq!(out, sample_events());
-        assert_eq!(sink.stats().emitted, 7);
+        assert_eq!(sink.stats().emitted, 9);
         assert_eq!(sink.stats().dropped, 0);
         assert!(sink.is_empty());
     }
@@ -517,9 +548,9 @@ mod tests {
         let out = sink.drain();
         assert_eq!(out.len(), 3);
         // The three newest survive.
-        assert_eq!(out, sample_events()[4..].to_vec());
-        assert_eq!(sink.stats().emitted, 7);
-        assert_eq!(sink.stats().dropped, 4);
+        assert_eq!(out, sample_events()[6..].to_vec());
+        assert_eq!(sink.stats().emitted, 9);
+        assert_eq!(sink.stats().dropped, 6);
     }
 
     #[test]
@@ -560,6 +591,8 @@ mod tests {
         assert_eq!(evs[5].to_json().get("link").and_then(Json::as_u64), Some(7));
         assert_eq!(evs[6].to_json().get("cause").and_then(Json::as_str), Some("backpressure"));
         assert_eq!(evs[6].to_json().get("cycles").and_then(Json::as_u64), Some(12));
+        assert_eq!(evs[7].to_json().get("link").and_then(Json::as_u64), Some(4));
+        assert_eq!(evs[8].to_json().get("link").and_then(Json::as_u64), Some(4));
     }
 
     #[test]

@@ -65,6 +65,39 @@ if ! diff -q "$tmpdir/tiny_serial.txt" "$tmpdir/tiny_sharded.txt" > /dev/null; t
 fi
 echo "verify: sharded --tiny output identical to serial"
 
+# Live churn is stepper-independent (DESIGN.md §13): the churn storm
+# runner must produce byte-identical output on the serial active-set
+# stepper, the sharded stepper, and the dense reference stepper.
+./target/release/churn --tiny --jobs 1 \
+    --emit-plan "$tmpdir/churn_plan.json" > "$tmpdir/churn_serial.txt"
+./target/release/churn --tiny --jobs 1 --shards 4 > "$tmpdir/churn_sharded.txt"
+./target/release/churn --tiny --jobs 1 --dense > "$tmpdir/churn_dense.txt"
+if ! diff -q "$tmpdir/churn_serial.txt" "$tmpdir/churn_sharded.txt" > /dev/null; then
+    echo "verify: FAIL — churn --shards 4 output differs from serial" >&2
+    diff "$tmpdir/churn_serial.txt" "$tmpdir/churn_sharded.txt" | head -40 >&2
+    exit 1
+fi
+if ! diff -q "$tmpdir/churn_serial.txt" "$tmpdir/churn_dense.txt" > /dev/null; then
+    echo "verify: FAIL — churn --dense output differs from the active stepper" >&2
+    diff "$tmpdir/churn_serial.txt" "$tmpdir/churn_dense.txt" | head -40 >&2
+    exit 1
+fi
+echo "verify: churn storm identical across serial/sharded/dense steppers"
+
+# And a replayed --churn plan must be stepper-independent on an
+# unrelated runner too: feed the emitted storm plan to fig09 and diff
+# serial against sharded.
+./target/release/fig09 --tiny --jobs 1 \
+    --churn "$tmpdir/churn_plan.json" > "$tmpdir/fig09_churn_serial.txt"
+./target/release/fig09 --tiny --jobs 1 --shards 4 \
+    --churn "$tmpdir/churn_plan.json" > "$tmpdir/fig09_churn_sharded.txt"
+if ! diff -q "$tmpdir/fig09_churn_serial.txt" "$tmpdir/fig09_churn_sharded.txt" > /dev/null; then
+    echo "verify: FAIL — fig09 --churn output differs between serial and --shards 4" >&2
+    diff "$tmpdir/fig09_churn_serial.txt" "$tmpdir/fig09_churn_sharded.txt" | head -40 >&2
+    exit 1
+fi
+echo "verify: fig09 under a replayed --churn plan identical serial vs sharded"
+
 # Tracing must be record-only: a runner's measured output is
 # byte-identical with and without --trace, and the dumped JSON-lines
 # trace parses with the full protocol lifecycle present
