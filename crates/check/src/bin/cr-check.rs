@@ -1,0 +1,259 @@
+//! `cr-check` — exhaustive explicit-state checking of the CR/FCR
+//! protocol stack on small fixed configurations.
+//!
+//! ```text
+//! cr-check                          # run the sound battery
+//! cr-check --config ring3           # one configuration
+//! cr-check --mutate no-padding      # a falsification run (must find a violation)
+//! cr-check --mutate all             # every mutation
+//! cr-check --all --mutate all       # everything
+//! cr-check --budget 200000          # cap on distinct states
+//! cr-check --json                   # deterministic machine-readable report
+//! cr-check --mutate no-padding --emit-cex cex.json
+//! cr-check --replay cex.json        # confirm a counterexample reproduces
+//! cr-check --list                   # show all configuration names
+//! ```
+//!
+//! Exit codes: `0` every run matched its expectation (sound
+//! configurations closed their state space violation-free, mutations
+//! produced a counterexample, replays reproduced); `2` any mismatch,
+//! exhausted budget, or failed replay; `1` usage error.
+
+use std::process::ExitCode;
+
+use cr_check::{cex, configs, model};
+use cr_sim::Json;
+
+const DEFAULT_BUDGET: usize = 500_000;
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("cr-check: {msg}");
+    eprintln!(
+        "usage: cr-check [--all] [--config NAME] [--mutate NAME|all] [--budget N] \
+         [--json] [--emit-cex PATH] [--replay PATH] [--list]"
+    );
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut budget = DEFAULT_BUDGET;
+    let mut json = false;
+    let mut all = false;
+    let mut config: Option<String> = None;
+    let mut mutate: Option<String> = None;
+    let mut emit_cex: Option<String> = None;
+    let mut replay_path: Option<String> = None;
+    let mut list = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let need_value = |i: usize| -> Result<&str, String> {
+            args.get(i + 1)
+                .map(String::as_str)
+                .ok_or_else(|| format!("{} needs a value", args[i]))
+        };
+        match args[i].as_str() {
+            "--all" => all = true,
+            "--json" => json = true,
+            "--list" => list = true,
+            "--budget" => {
+                match need_value(i).map(str::parse::<usize>) {
+                    Ok(Ok(n)) if n > 0 => budget = n,
+                    _ => return usage("--budget needs a positive integer"),
+                }
+                i += 1;
+            }
+            "--config" => {
+                match need_value(i) {
+                    Ok(v) => config = Some(v.to_string()),
+                    Err(e) => return usage(&e),
+                }
+                i += 1;
+            }
+            "--mutate" => {
+                match need_value(i) {
+                    Ok(v) => mutate = Some(v.to_string()),
+                    Err(e) => return usage(&e),
+                }
+                i += 1;
+            }
+            "--emit-cex" => {
+                match need_value(i) {
+                    Ok(v) => emit_cex = Some(v.to_string()),
+                    Err(e) => return usage(&e),
+                }
+                i += 1;
+            }
+            "--replay" => {
+                match need_value(i) {
+                    Ok(v) => replay_path = Some(v.to_string()),
+                    Err(e) => return usage(&e),
+                }
+                i += 1;
+            }
+            other => return usage(&format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+
+    if list {
+        for c in configs::all_configs() {
+            println!("{:<18} {}", c.name, c.about);
+        }
+        for c in configs::mutations() {
+            println!("{:<18} [mutation] {}", c.name, c.about);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = replay_path {
+        return replay_file(&path, json);
+    }
+
+    // Select the runs.
+    let mut runs: Vec<model::CheckConfig> = Vec::new();
+    if let Some(name) = &config {
+        match configs::find(name) {
+            Some(c) => runs.push(c),
+            None => return usage(&format!("unknown configuration {name}")),
+        }
+    }
+    if let Some(name) = &mutate {
+        let muts = configs::mutations();
+        if name == "all" {
+            runs.extend(muts);
+        } else {
+            match muts.into_iter().find(|c| c.name == name) {
+                Some(c) => runs.push(c),
+                None => return usage(&format!("unknown mutation {name}")),
+            }
+        }
+    }
+    if all || (config.is_none() && mutate.is_none()) {
+        let mut sound = configs::all_configs();
+        sound.retain(|c| runs.iter().all(|r| r.name != c.name));
+        runs.splice(0..0, sound);
+    }
+
+    // Check.
+    let mut reports = Vec::with_capacity(runs.len());
+    for cfg in &runs {
+        reports.push(model::check(cfg, budget));
+    }
+    let passed = reports.iter().all(model::CheckReport::passed);
+
+    if let Some(path) = &emit_cex {
+        let first = reports
+            .iter()
+            .enumerate()
+            .find_map(|(i, r)| r.violation.as_ref().map(|v| (i, v)));
+        match first {
+            Some((i, v)) => {
+                let doc = cex::to_json(&runs[i], v);
+                if let Err(e) = std::fs::write(path, format!("{}\n", doc.to_pretty())) {
+                    eprintln!("cr-check: cannot write {path}: {e}");
+                    return ExitCode::from(2);
+                }
+                if !json {
+                    println!("counterexample written to {path}");
+                }
+            }
+            None => {
+                eprintln!("cr-check: --emit-cex given but no violation was found");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if json {
+        let doc = Json::obj([
+            ("budget", Json::from(budget as u64)),
+            ("passed", Json::from(passed)),
+            (
+                "runs",
+                Json::Arr(reports.iter().map(model::CheckReport::to_json).collect()),
+            ),
+        ]);
+        println!("{}", doc.to_pretty());
+    } else {
+        for r in &reports {
+            print_report(r);
+        }
+        println!(
+            "{}: {}/{} runs matched expectations",
+            if passed { "ok" } else { "FAILED" },
+            reports.iter().filter(|r| r.passed()).count(),
+            reports.len()
+        );
+    }
+
+    if passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(2)
+    }
+}
+
+fn print_report(r: &model::CheckReport) {
+    let verdict = match (&r.violation, r.expect_violation, r.budget_exhausted) {
+        (_, _, true) => "BUDGET EXHAUSTED (result proves nothing)".to_string(),
+        (None, false, _) => "ok: state space closed, no violation".to_string(),
+        (None, true, _) => "FAILED: expected a violation, none found".to_string(),
+        (Some(v), true, _) => format!("ok: violation found as expected — {} at cycle {}", v.kind, v.at),
+        (Some(v), false, _) => format!("VIOLATION: {} at cycle {}", v.kind, v.at),
+    };
+    println!(
+        "{:<18} {:>8} states {:>8} edges {:>6} tails  depth {:>3}  kills {:>3}  retx {:>3}  {}",
+        r.config, r.states, r.edges, r.tails, r.max_depth, r.max_kills, r.max_retransmissions, verdict
+    );
+}
+
+fn replay_file(path: &str, json: bool) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cr-check: cannot read {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let (name, fires) = match cex::from_json_str(&text) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("cr-check: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let Some(cfg) = configs::find(&name) else {
+        eprintln!("cr-check: counterexample names unknown configuration {name}");
+        return ExitCode::from(1);
+    };
+    match model::replay(&cfg, &fires) {
+        Some(v) => {
+            if json {
+                let doc = Json::obj([
+                    ("config", Json::from(name.as_str())),
+                    ("reproduced", Json::from(true)),
+                    ("violation", Json::from(v.kind.as_str())),
+                    ("at", Json::from(v.at)),
+                ]);
+                println!("{}", doc.to_pretty());
+            } else {
+                println!("{name}: reproduced — {} at cycle {}", v.kind, v.at);
+            }
+            ExitCode::SUCCESS
+        }
+        None => {
+            if json {
+                let doc = Json::obj([
+                    ("config", Json::from(name.as_str())),
+                    ("reproduced", Json::from(false)),
+                ]);
+                println!("{}", doc.to_pretty());
+            } else {
+                println!("{name}: counterexample did NOT reproduce");
+            }
+            ExitCode::from(2)
+        }
+    }
+}

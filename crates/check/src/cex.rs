@@ -1,0 +1,129 @@
+//! Counterexample serialization: a violating interleaving as JSON,
+//! self-describing enough to replay in the checker (`--replay`) *and*
+//! to re-drive the ordinary simulator (the embedded `churn` block is a
+//! ready-made [`cr_faults::ChurnSchedule`] of the kill/revive
+//! firings).
+//!
+//! Format:
+//!
+//! ```json
+//! {
+//!   "config": "no-padding",
+//!   "violation": "deadlock: watchdog fired with flits in flight",
+//!   "at": 312,
+//!   "fires": [
+//!     {"at": 0, "event": 0, "op": "inject", "src": 0, "dst": 2, "len": 3},
+//!     {"at": 1, "event": 3, "op": "kill_link", "link": 6}
+//!   ],
+//!   "churn": {"events": [...]}
+//! }
+//! ```
+//!
+//! `fires` is authoritative for replay (`at` = firing cycle, `event` =
+//! index into the configuration's event list, listed in firing order);
+//! the per-fire operation fields and the `churn` block are denormalized
+//! conveniences.
+
+use cr_faults::ChurnSchedule;
+use cr_sim::{Cycle, Json, LinkId};
+
+use crate::model::{CheckConfig, EnvOp, Violation};
+
+/// Renders `violation` (found while checking `cfg`) as the replayable
+/// counterexample document.
+pub fn to_json(cfg: &CheckConfig, violation: &Violation) -> Json {
+    let mut fires = Vec::new();
+    let mut churn = ChurnSchedule::new();
+    for &(at, e) in &violation.fires {
+        let mut fields = vec![("at", Json::from(at)), ("event", Json::from(u64::from(e)))];
+        if let Some(ev) = cfg.events.get(e as usize) {
+            if let Json::Obj(op_fields) = ev.op.to_json() {
+                for (k, v) in op_fields {
+                    fields.push(match k.as_str() {
+                        "op" => ("op", v),
+                        "src" => ("src", v),
+                        "dst" => ("dst", v),
+                        "len" => ("len", v),
+                        "link" => ("link", v),
+                        _ => continue,
+                    });
+                }
+            }
+            match ev.op {
+                EnvOp::KillLink { link } => {
+                    churn.kill_link(Cycle::new(at), LinkId::new(link));
+                }
+                EnvOp::ReviveLink { link } => {
+                    churn.revive_link(Cycle::new(at), LinkId::new(link));
+                }
+                EnvOp::Inject { .. } => {}
+            }
+        }
+        fires.push(Json::obj(fields));
+    }
+    Json::obj([
+        ("config", Json::from(cfg.name)),
+        ("violation", Json::from(violation.kind.as_str())),
+        ("at", Json::from(violation.at)),
+        ("fires", Json::Arr(fires)),
+        ("churn", churn.to_json()),
+    ])
+}
+
+/// Parses a counterexample document back into its configuration name
+/// and firing list.
+pub fn from_json(v: &Json) -> Result<(String, Vec<(u64, u16)>), String> {
+    let config = v
+        .get("config")
+        .and_then(Json::as_str)
+        .ok_or("counterexample: missing \"config\"")?
+        .to_string();
+    let Some(Json::Arr(items)) = v.get("fires") else {
+        return Err("counterexample: missing \"fires\" array".into());
+    };
+    let mut fires = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let at = item
+            .get("at")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("counterexample: fire {i} missing \"at\""))?;
+        let event = item
+            .get("event")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("counterexample: fire {i} missing \"event\""))?;
+        if event > u64::from(u16::MAX) {
+            return Err(format!("counterexample: fire {i} event index out of range"));
+        }
+        fires.push((at, event as u16));
+    }
+    Ok((config, fires))
+}
+
+/// Parses a counterexample document from text.
+pub fn from_json_str(text: &str) -> Result<(String, Vec<(u64, u16)>), String> {
+    let v = Json::parse(text).map_err(|e| format!("counterexample: bad JSON: {e}"))?;
+    from_json(&v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+
+    #[test]
+    fn round_trips_through_json() {
+        let cfg = configs::find("ring3").unwrap();
+        let v = Violation {
+            kind: "synthetic".into(),
+            at: 9,
+            fires: vec![(0, 0), (0, 1), (2, 2), (12, 3)],
+        };
+        let doc = to_json(&cfg, &v);
+        let (name, fires) = from_json_str(&doc.to_string()).unwrap();
+        assert_eq!(name, "ring3");
+        assert_eq!(fires, v.fires);
+        // The churn block carries exactly the kill and the revive.
+        let churn = ChurnSchedule::from_json(doc.get("churn").unwrap()).unwrap();
+        assert_eq!(churn.len(), 2);
+    }
+}

@@ -1,0 +1,164 @@
+//! State fingerprinting and the visited set.
+//!
+//! The checker never stores full state encodings: it keeps a 128-bit
+//! FNV-1a fingerprint per visited state in an open-addressed table.
+//! Both halves use the standard 64-bit FNV prime but different offset
+//! bases, so the two streams decorrelate; at the ≤ 10⁷ states this
+//! checker ever visits, the collision probability of a 128-bit
+//! fingerprint is far below 10⁻²⁰ — a missed violation from a
+//! fingerprint collision is not a realistic failure mode.
+//!
+//! `std::collections::HashMap` is deliberately avoided (repo lint
+//! `hash-collections`): iteration order never matters here, but the
+//! checker's memory layout and probe sequence should be identical
+//! across runs and platforms, and the open-addressed `u128` table is
+//! also 3–4× denser than a `HashSet<u128>`.
+
+/// The 64-bit FNV prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// The standard 64-bit FNV-1a offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// A second, independent offset basis for the high fingerprint half
+/// (the standard basis xor-folded with the golden-ratio constant).
+pub const FNV_OFFSET_ALT: u64 = FNV_OFFSET ^ 0x9e37_79b9_7f4a_7c15;
+
+/// FNV-1a over `bytes` starting from `basis`.
+pub fn fnv1a(bytes: &[u8], basis: u64) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// 128-bit fingerprint of a canonical state encoding: two FNV-1a
+/// streams with independent bases, concatenated.
+pub fn fingerprint(bytes: &[u8]) -> u128 {
+    let lo = fnv1a(bytes, FNV_OFFSET);
+    let hi = fnv1a(bytes, FNV_OFFSET_ALT);
+    (u128::from(hi) << 64) | u128::from(lo)
+}
+
+/// An open-addressed set of 128-bit fingerprints with linear probing.
+///
+/// Slot value 0 marks "empty"; the (vanishingly unlikely) genuine
+/// fingerprint 0 is remapped to 1, costing nothing but a second
+/// vanishing collision chance. The table grows at ~70% load, so
+/// lookups stay O(1) amortized. No deletion — BFS only ever inserts.
+#[derive(Debug)]
+pub struct VisitedSet {
+    slots: Vec<u128>,
+    len: usize,
+}
+
+impl VisitedSet {
+    /// Creates an empty set with a small initial table.
+    pub fn new() -> VisitedSet {
+        VisitedSet {
+            slots: vec![0; 1024],
+            len: 0,
+        }
+    }
+
+    /// Number of fingerprints stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` if no fingerprint has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `fp`, returning `true` if it was not already present.
+    pub fn insert(&mut self, fp: u128) -> bool {
+        let fp = if fp == 0 { 1 } else { fp };
+        if (self.len + 1) * 10 >= self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        // The low bits already mix the whole encoding (FNV), so the
+        // fingerprint itself indexes the table.
+        let mut i = (fp as u64 as usize) & mask;
+        loop {
+            let s = self.slots[i];
+            if s == 0 {
+                self.slots[i] = fp;
+                self.len += 1;
+                return true;
+            }
+            if s == fp {
+                return false;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let doubled = self.slots.len() * 2;
+        let old = std::mem::replace(&mut self.slots, vec![0; doubled]);
+        let mask = self.slots.len() - 1;
+        for fp in old {
+            if fp == 0 {
+                continue;
+            }
+            let mut i = (fp as u64 as usize) & mask;
+            while self.slots[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = fp;
+        }
+    }
+}
+
+impl Default for VisitedSet {
+    fn default() -> Self {
+        VisitedSet::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_vectors() {
+        // Classic FNV-1a test vectors.
+        assert_eq!(fnv1a(b"", FNV_OFFSET), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a", FNV_OFFSET), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar", FNV_OFFSET), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn fingerprint_halves_differ() {
+        let fp = fingerprint(b"some state bytes");
+        assert_ne!((fp >> 64) as u64, fp as u64);
+        assert_ne!(fingerprint(b"x"), fingerprint(b"y"));
+    }
+
+    #[test]
+    fn visited_set_inserts_and_dedups() {
+        let mut v = VisitedSet::new();
+        assert!(v.is_empty());
+        assert!(v.insert(42));
+        assert!(!v.insert(42));
+        assert!(v.insert(0)); // remapped to 1
+        assert!(!v.insert(1)); // ... so 1 now reads as present
+        assert_eq!(v.len(), 2);
+    }
+
+    #[test]
+    fn visited_set_survives_growth() {
+        let mut v = VisitedSet::new();
+        for i in 0..10_000u128 {
+            assert!(v.insert(i * 7 + 3));
+        }
+        for i in 0..10_000u128 {
+            assert!(!v.insert(i * 7 + 3));
+        }
+        assert_eq!(v.len(), 10_000);
+    }
+}

@@ -1,0 +1,48 @@
+//! `cr-check`: an exhaustive explicit-state model checker for the
+//! Compressionless Routing protocol stack.
+//!
+//! # What it proves
+//!
+//! For a small, fixed network configuration (2–4 nodes) and a fixed
+//! set of *environment events* — message injections, link kills, link
+//! revivals — each constrained to a firing window, the checker
+//! enumerates **every interleaving** of those events with the passage
+//! of time, merging interleavings that reach the same protocol state
+//! (canonical encoding + fingerprint set). On every reachable state it
+//! evaluates the safety invariants (credit conservation, buffer
+//! bounds, at-most-once delivery, no corrupt delivery under FCR), and
+//! from every maximal interleaving it runs the network to quiescence,
+//! proving liveness (every injected message is delivered exactly once
+//! and the network drains; no deadlock, no livelock within the cycle
+//! bound).
+//!
+//! Crucially the transitions are executed by the **real simulator**
+//! (via [`cr_core::check_api`]), not a re-model: the artifact being
+//! checked is the code the experiments run.
+//!
+//! # Falsification mode
+//!
+//! `--mutate` swaps in configurations with a known-unsound knob
+//! (padding disabled, the torus dateline discipline removed, the
+//! ordered-detour restriction dropped). The checker must *find* the
+//! resulting violation — a deadlock or a lost message — and emits a
+//! deterministically replayable counterexample. This guards the
+//! checker itself against vacuity: a checker that cannot refute a
+//! broken protocol proves nothing about a sound one.
+//!
+//! # Module map
+//!
+//! * [`hash`] — FNV fingerprints and the open-addressed visited set
+//!   (no `HashMap`/`HashSet`; deterministic, allocation-tight).
+//! * [`model`] — environment events, the BFS over interleavings, the
+//!   quiescence tail run, and [`model::CheckReport`].
+//! * [`configs`] — the sound battery and the `--mutate` variants.
+//! * [`cex`] — counterexample serialization and replay.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod cex;
+pub mod configs;
+pub mod hash;
+pub mod model;

@@ -1,0 +1,686 @@
+//! The search core: environment events, the BFS over interleavings,
+//! the quiescence tail, and the report.
+//!
+//! # Search model
+//!
+//! A *run* of the checker interleaves two kinds of transitions:
+//!
+//! * `Fire(e)` — environment event `e` (an injection, link kill or
+//!   link revival) takes effect now. Firing consumes no simulated
+//!   time, so several events can fire within one cycle in any order.
+//! * `Tick` — the network advances exactly one cycle.
+//!
+//! Every event carries a window `[lo, hi]`: `Fire(e)` is enabled once
+//! `now >= lo`, and `Tick` is *disabled* while any unfired event has
+//! `hi <= now` (the event is forced to fire before time moves on).
+//! Since `lo <= hi`, a forced event is always also enabled, so every
+//! non-terminal state has at least one successor. Once all events
+//! have fired, the state is a *tail* state: the checker runs the
+//! network deterministically to quiescence (checking invariants every
+//! cycle) and verifies the delivery obligations.
+//!
+//! # State storage
+//!
+//! [`Network`](cr_core::Network) is deliberately not `Clone`, and the
+//! checker does not need it to be: each arena node stores only its
+//! parent and the action that produced it, and expansion *replays*
+//! the action path from a fresh network. Replays are deterministic
+//! (the whole simulator is), so the rebuilt state is bit-identical to
+//! the one fingerprinted earlier. At the 2–4 node scale this trades
+//! a few million replayed cycles for never holding more than one live
+//! network — and makes counterexamples trivially serializable: a
+//! counterexample *is* an action path.
+
+use cr_core::check_api::{CheckNet, FlowKey, ProtocolStep};
+use cr_sim::{Json, LinkId, NodeId};
+
+use crate::hash::{fingerprint, VisitedSet};
+
+/// One environment action the checker can fire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnvOp {
+    /// Queue a message of `len` payload flits from `src` to `dst`.
+    Inject {
+        /// Source node index.
+        src: u32,
+        /// Destination node index.
+        dst: u32,
+        /// Payload length in flits.
+        len: u32,
+    },
+    /// Kill one unidirectional link.
+    KillLink {
+        /// Dense link id (see the topology's link numbering).
+        link: u32,
+    },
+    /// Revive one previously killed link.
+    ReviveLink {
+        /// Dense link id.
+        link: u32,
+    },
+}
+
+impl EnvOp {
+    /// Applies this operation to `net`.
+    pub fn apply(&self, net: &mut CheckNet) {
+        match *self {
+            EnvOp::Inject { src, dst, len } => {
+                net.inject(NodeId::new(src), NodeId::new(dst), len);
+            }
+            EnvOp::KillLink { link } => net.kill_link_now(LinkId::new(link)),
+            EnvOp::ReviveLink { link } => net.revive_link_now(LinkId::new(link)),
+        }
+    }
+
+    /// Short machine-readable tag (`inject` / `kill_link` /
+    /// `revive_link`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            EnvOp::Inject { .. } => "inject",
+            EnvOp::KillLink { .. } => "kill_link",
+            EnvOp::ReviveLink { .. } => "revive_link",
+        }
+    }
+
+    /// JSON rendering of the operation's operands plus its tag.
+    pub fn to_json(&self) -> Json {
+        match *self {
+            EnvOp::Inject { src, dst, len } => Json::obj([
+                ("op", Json::from(self.kind())),
+                ("src", Json::from(u64::from(src))),
+                ("dst", Json::from(u64::from(dst))),
+                ("len", Json::from(u64::from(len))),
+            ]),
+            EnvOp::KillLink { link } | EnvOp::ReviveLink { link } => Json::obj([
+                ("op", Json::from(self.kind())),
+                ("link", Json::from(u64::from(link))),
+            ]),
+        }
+    }
+}
+
+/// An environment event with its firing window (inclusive on both
+/// ends): the checker explores firing `op` at every cycle in
+/// `[lo, hi]`, in every order relative to other events.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvEvent {
+    /// The operation that fires.
+    pub op: EnvOp,
+    /// Earliest cycle at which the event may fire.
+    pub lo: u64,
+    /// Latest cycle by which the event must have fired.
+    pub hi: u64,
+}
+
+/// One transition in the search graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Action {
+    /// Fire environment event `events[i]`.
+    Fire(u16),
+    /// Advance the network one cycle.
+    Tick,
+}
+
+/// A checkable configuration: how to build the network, which
+/// environment events to interleave, and what outcome to expect.
+pub struct CheckConfig {
+    /// Unique name (CLI handle and counterexample key).
+    pub name: &'static str,
+    /// One-line description for reports.
+    pub about: &'static str,
+    /// Builds the network under test, fresh and deterministic.
+    pub build: fn() -> CheckNet,
+    /// Environment events to interleave (at most 32).
+    pub events: Vec<EnvEvent>,
+    /// `true` for `--mutate` configurations: the checker must *find*
+    /// a violation (the run fails if the state space closes cleanly).
+    pub expect_violation: bool,
+    /// Require every injected message delivered exactly once at
+    /// quiescence (liveness); disable only for configurations whose
+    /// traffic is legitimately lossy.
+    pub require_all_delivered: bool,
+    /// Absolute cycle bound: a tail that has not quiesced by this
+    /// cycle is reported as a livelock violation.
+    pub max_cycles: u64,
+}
+
+impl CheckConfig {
+    /// Expected delivery obligations: for each `(src, dst)` flow with
+    /// `k` injection events, flow keys `(src, dst, 0..k)` must each be
+    /// delivered exactly once (sequence numbers are assigned in firing
+    /// order, but the *set* of keys is order-independent).
+    pub fn expected_deliveries(&self) -> Vec<FlowKey> {
+        let mut keys: Vec<FlowKey> = Vec::new();
+        let mut flows: Vec<(u32, u32, u64)> = Vec::new();
+        for ev in &self.events {
+            if let EnvOp::Inject { src, dst, .. } = ev.op {
+                let seq = match flows.iter_mut().find(|f| f.0 == src && f.1 == dst) {
+                    Some(f) => {
+                        f.2 += 1;
+                        f.2 - 1
+                    }
+                    None => {
+                        flows.push((src, dst, 1));
+                        0
+                    }
+                };
+                keys.push((src, dst, seq));
+            }
+        }
+        keys.sort_unstable();
+        keys
+    }
+}
+
+/// A property violation, with the interleaving that reaches it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// What went wrong (invariant message, `deadlock`, lost message…).
+    pub kind: String,
+    /// Simulated cycle at which the violation was detected.
+    pub at: u64,
+    /// The violating interleaving as `(cycle, event index)` pairs in
+    /// firing order; ticks between firing cycles are implied. Replay
+    /// with [`replay`].
+    pub fires: Vec<(u64, u16)>,
+}
+
+/// Outcome of checking one configuration.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Configuration name.
+    pub config: String,
+    /// `expect_violation` of the configuration checked.
+    pub expect_violation: bool,
+    /// Distinct canonical states visited (the arena size).
+    pub states: u64,
+    /// Transitions explored (including ones reaching known states).
+    pub edges: u64,
+    /// Maximal interleavings run to quiescence.
+    pub tails: u64,
+    /// Longest action path from the initial state.
+    pub max_depth: u32,
+    /// Most protocol kills observed along any single tail run.
+    pub max_kills: u64,
+    /// Most retransmissions observed along any single tail run.
+    pub max_retransmissions: u64,
+    /// `true` if the state budget ran out before the frontier emptied
+    /// (the result then proves nothing).
+    pub budget_exhausted: bool,
+    /// First violation found in BFS order, if any.
+    pub violation: Option<Violation>,
+}
+
+impl CheckReport {
+    /// Did the run match its expectation? A sound configuration must
+    /// close its state space with no violation; a mutated one must
+    /// find a violation. An exhausted budget fails either way.
+    pub fn passed(&self) -> bool {
+        if self.budget_exhausted {
+            return false;
+        }
+        self.violation.is_some() == self.expect_violation
+    }
+
+    /// Deterministic JSON rendering (object key order is fixed).
+    pub fn to_json(&self) -> Json {
+        let violation = match &self.violation {
+            None => Json::Null,
+            Some(v) => Json::obj([
+                ("kind", Json::from(v.kind.as_str())),
+                ("at", Json::from(v.at)),
+                (
+                    "fires",
+                    Json::Arr(
+                        v.fires
+                            .iter()
+                            .map(|&(at, e)| {
+                                Json::obj([
+                                    ("at", Json::from(at)),
+                                    ("event", Json::from(u64::from(e))),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        };
+        Json::obj([
+            ("config", Json::from(self.config.as_str())),
+            ("expect_violation", Json::from(self.expect_violation)),
+            ("passed", Json::from(self.passed())),
+            ("states", Json::from(self.states)),
+            ("edges", Json::from(self.edges)),
+            ("tails", Json::from(self.tails)),
+            ("max_depth", Json::from(u64::from(self.max_depth))),
+            ("max_kills", Json::from(self.max_kills)),
+            ("max_retransmissions", Json::from(self.max_retransmissions)),
+            ("budget_exhausted", Json::from(self.budget_exhausted)),
+            ("violation", violation),
+        ])
+    }
+}
+
+/// One arena node: enough to reconstruct the state by replaying the
+/// parent chain, plus the scheduling facts (`now`, fired mask) that
+/// action eligibility needs — those are path properties, computable
+/// without touching the simulator.
+#[derive(Debug, Clone, Copy)]
+struct NodeRec {
+    /// Arena index of the parent, `u32::MAX` for the root.
+    parent: u32,
+    /// The action that produced this node from its parent.
+    action: Action,
+    /// Bitmask of events fired along the path.
+    mask: u32,
+    /// Simulated cycle (= number of `Tick`s on the path).
+    now: u64,
+    /// Path length.
+    depth: u32,
+}
+
+/// Collects the action path from the root to `idx`.
+/// Checked narrowing of an arena index to the `u32` stored in
+/// [`NodeRec::parent`]: reaching `u32::MAX` states would first
+/// exhaust any realistic `--budget` and the host's memory.
+fn arena_idx(i: usize) -> u32 {
+    // cr-lint: allow(panic-discipline, reason = "an arena past u32::MAX states is unreachable within memory, and wrapping would corrupt the parent chain")
+    u32::try_from(i).expect("arena index exceeds u32::MAX")
+}
+
+fn path_to(arena: &[NodeRec], idx: u32) -> Vec<Action> {
+    let mut acts = Vec::new();
+    let mut i = idx;
+    while arena[i as usize].parent != u32::MAX {
+        acts.push(arena[i as usize].action);
+        i = arena[i as usize].parent;
+    }
+    acts.reverse();
+    acts
+}
+
+/// Rebuilds the network at the end of `acts` from a fresh build.
+fn replay_actions(cfg: &CheckConfig, acts: &[Action]) -> CheckNet {
+    let mut net = (cfg.build)();
+    for a in acts {
+        match *a {
+            Action::Fire(e) => cfg.events[e as usize].op.apply(&mut net),
+            Action::Tick => net.tick(),
+        }
+    }
+    net
+}
+
+/// Converts an action path into the `(cycle, event)` firing list that
+/// counterexamples store.
+fn fires_of(acts: &[Action]) -> Vec<(u64, u16)> {
+    let mut now = 0u64;
+    let mut fires = Vec::new();
+    for a in acts {
+        match *a {
+            Action::Tick => now += 1,
+            Action::Fire(e) => fires.push((now, e)),
+        }
+    }
+    fires
+}
+
+/// Statistics from one quiescence tail.
+struct TailStats {
+    kills: u64,
+    retransmissions: u64,
+}
+
+/// Runs `net` (all events already fired) to quiescence, checking
+/// invariants every cycle. Returns the violation kind and cycle on
+/// failure.
+fn run_tail(cfg: &CheckConfig, net: &mut CheckNet) -> Result<TailStats, (String, u64)> {
+    loop {
+        let now = net.now().as_u64();
+        if net.is_deadlocked() {
+            return Err(("deadlock: watchdog fired with flits in flight".into(), now));
+        }
+        if net.is_quiescent() {
+            break;
+        }
+        if now >= cfg.max_cycles {
+            return Err((
+                format!("failed to quiesce within {} cycles", cfg.max_cycles),
+                now,
+            ));
+        }
+        net.tick();
+        if let Err(msg) = net.check_invariants() {
+            return Err((msg, net.now().as_u64()));
+        }
+    }
+    let now = net.now().as_u64();
+    if cfg.require_all_delivered {
+        for key in cfg.expected_deliveries() {
+            let n = net.deliveries().get(&key).map_or(0, |d| d.delivered);
+            if n != 1 {
+                return Err((
+                    format!(
+                        "message ({}, {}, {}) delivered {} times at quiescence",
+                        key.0, key.1, key.2, n
+                    ),
+                    now,
+                ));
+            }
+        }
+    }
+    let c = net.network().counters();
+    Ok(TailStats {
+        kills: c.kills_source_timeout + c.kills_fault + c.kills_path_wide,
+        retransmissions: c.retransmissions,
+    })
+}
+
+/// Canonical search key of a state: the protocol encoding, the fired
+/// mask, and — only while events remain unfired — the absolute cycle
+/// (future eligibility depends on it; once everything has fired, the
+/// residual time-dependence is the prune phase, which the protocol
+/// encoding already carries).
+fn state_key(net: &CheckNet, mask: u32, all_fired: bool, now: u64) -> u128 {
+    let mut bytes = Vec::with_capacity(4096);
+    net.encode_state(&mut bytes);
+    bytes.extend_from_slice(&mask.to_le_bytes());
+    if !all_fired {
+        bytes.extend_from_slice(&now.to_le_bytes());
+    }
+    fingerprint(&bytes)
+}
+
+/// Exhaustively checks `cfg`, visiting at most `budget` distinct
+/// states.
+///
+/// Deterministic: same configuration and budget, same report — byte
+/// for byte, including the counterexample.
+///
+/// # Panics
+///
+/// Panics if the configuration is malformed (more than 32 events, or
+/// an event window with `lo > hi`).
+pub fn check(cfg: &CheckConfig, budget: usize) -> CheckReport {
+    assert!(cfg.events.len() <= 32, "at most 32 environment events");
+    for ev in &cfg.events {
+        assert!(ev.lo <= ev.hi, "event window must satisfy lo <= hi");
+    }
+    let all_mask: u32 = if cfg.events.is_empty() {
+        0
+    } else {
+        (u32::MAX) >> (32 - cfg.events.len())
+    };
+
+    let mut report = CheckReport {
+        config: cfg.name.to_string(),
+        expect_violation: cfg.expect_violation,
+        states: 0,
+        edges: 0,
+        tails: 0,
+        max_depth: 0,
+        max_kills: 0,
+        max_retransmissions: 0,
+        budget_exhausted: false,
+        violation: None,
+    };
+
+    let mut visited = VisitedSet::new();
+    let mut arena: Vec<NodeRec> = Vec::new();
+
+    // Root.
+    let root = (cfg.build)();
+    if let Err(msg) = root.check_invariants() {
+        report.states = 1;
+        report.violation = Some(Violation {
+            kind: msg,
+            at: 0,
+            fires: Vec::new(),
+        });
+        return report;
+    }
+    visited.insert(state_key(&root, 0, all_mask == 0, 0));
+    arena.push(NodeRec {
+        parent: u32::MAX,
+        action: Action::Tick,
+        mask: 0,
+        now: 0,
+        depth: 0,
+    });
+    drop(root);
+
+    // BFS: the arena doubles as the queue (children are appended in
+    // discovery order, which for uniform edge cost is BFS order).
+    let mut cursor = 0usize;
+    'search: while cursor < arena.len() {
+        let node = arena[cursor];
+        report.max_depth = report.max_depth.max(node.depth);
+
+        if node.mask == all_mask {
+            // Tail state: run deterministically to quiescence.
+            report.tails += 1;
+            let acts = path_to(&arena, arena_idx(cursor));
+            let mut net = replay_actions(cfg, &acts);
+            match run_tail(cfg, &mut net) {
+                Ok(stats) => {
+                    report.max_kills = report.max_kills.max(stats.kills);
+                    report.max_retransmissions =
+                        report.max_retransmissions.max(stats.retransmissions);
+                }
+                Err((kind, at)) => {
+                    report.violation = Some(Violation {
+                        kind,
+                        at,
+                        fires: fires_of(&acts),
+                    });
+                    break 'search;
+                }
+            }
+            cursor += 1;
+            continue;
+        }
+
+        // Eligible actions from the path facts alone.
+        let mut acts_out: Vec<Action> = Vec::new();
+        let mut forced = false;
+        for (e, ev) in cfg.events.iter().enumerate() {
+            if node.mask & (1 << e) != 0 {
+                continue;
+            }
+            if ev.hi <= node.now {
+                forced = true;
+            }
+            if ev.lo <= node.now {
+                // cr-lint: allow(integer-narrowing, reason = "event index is asserted to be at most 32 at entry")
+                acts_out.push(Action::Fire(e as u16));
+            }
+        }
+        if !forced {
+            acts_out.push(Action::Tick);
+        }
+
+        let base = path_to(&arena, arena_idx(cursor));
+        for a in acts_out {
+            report.edges += 1;
+            let mut acts = base.clone();
+            acts.push(a);
+            let net = replay_actions(cfg, &acts);
+            let (mask, now) = match a {
+                Action::Fire(e) => (node.mask | (1 << e), node.now),
+                Action::Tick => (node.mask, node.now + 1),
+            };
+            if let Err(msg) = net.check_invariants() {
+                report.violation = Some(Violation {
+                    kind: msg,
+                    at: net.now().as_u64(),
+                    fires: fires_of(&acts),
+                });
+                break 'search;
+            }
+            if net.is_deadlocked() {
+                report.violation = Some(Violation {
+                    kind: "deadlock: watchdog fired with flits in flight".into(),
+                    at: net.now().as_u64(),
+                    fires: fires_of(&acts),
+                });
+                break 'search;
+            }
+            if visited.insert(state_key(&net, mask, mask == all_mask, now)) {
+                if arena.len() >= budget {
+                    report.budget_exhausted = true;
+                    break 'search;
+                }
+                arena.push(NodeRec {
+                    parent: arena_idx(cursor),
+                    action: a,
+                    mask,
+                    now,
+                    depth: node.depth + 1,
+                });
+            }
+        }
+        cursor += 1;
+    }
+
+    report.states = arena.len() as u64;
+    report
+}
+
+/// Replays a counterexample firing list against a fresh build of
+/// `cfg` and re-evaluates every property, confirming the violation
+/// reproduces. Returns the violation observed, or `None` if the run
+/// completes cleanly (the counterexample failed to reproduce).
+pub fn replay(cfg: &CheckConfig, fires: &[(u64, u16)]) -> Option<Violation> {
+    let mut acts: Vec<Action> = Vec::new();
+    let mut now = 0u64;
+    for &(at, e) in fires {
+        while now < at {
+            acts.push(Action::Tick);
+            now += 1;
+        }
+        acts.push(Action::Fire(e));
+    }
+
+    // Replay step by step, checking after every action like the
+    // search does after every edge.
+    let mut net = (cfg.build)();
+    for i in 0..acts.len() {
+        match acts[i] {
+            Action::Fire(e) => {
+                let Some(ev) = cfg.events.get(e as usize) else {
+                    return Some(Violation {
+                        kind: format!("counterexample references unknown event {e}"),
+                        at: now,
+                        fires: fires.to_vec(),
+                    });
+                };
+                ev.op.apply(&mut net);
+            }
+            Action::Tick => net.tick(),
+        }
+        if let Err(msg) = net.check_invariants() {
+            return Some(Violation {
+                kind: msg,
+                at: net.now().as_u64(),
+                fires: fires.to_vec(),
+            });
+        }
+        if net.is_deadlocked() {
+            return Some(Violation {
+                kind: "deadlock: watchdog fired with flits in flight".into(),
+                at: net.now().as_u64(),
+                fires: fires.to_vec(),
+            });
+        }
+    }
+    match run_tail(cfg, &mut net) {
+        Ok(_) => None,
+        Err((kind, at)) => Some(Violation {
+            kind,
+            at,
+            fires: fires.to_vec(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+
+    #[test]
+    fn line2_closes_clean() {
+        let cfg = configs::find("line2").unwrap();
+        let r = check(&cfg, 100_000);
+        assert!(r.passed());
+        assert!(r.violation.is_none());
+        assert!(!r.budget_exhausted);
+        assert!(r.states > 0 && r.tails > 0);
+    }
+
+    #[test]
+    fn reports_are_deterministic() {
+        let cfg = configs::find("line2").unwrap();
+        let a = check(&cfg, 100_000).to_json().to_string();
+        let b = check(&cfg, 100_000).to_json().to_string();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_not_a_pass() {
+        let cfg = configs::find("line2").unwrap();
+        let r = check(&cfg, 3);
+        assert!(r.budget_exhausted);
+        assert!(!r.passed());
+    }
+
+    #[test]
+    fn mutation_finds_violation_and_replays() {
+        let cfg = configs::find("disordered-detour").unwrap();
+        let r = check(&cfg, 100_000);
+        assert!(r.passed(), "mutation must produce a violation");
+        let v = r.violation.unwrap();
+        assert!(v.kind.contains("deadlock"), "expected a deadlock, got: {}", v.kind);
+        let replayed = replay(&cfg, &v.fires).expect("counterexample must reproduce");
+        assert_eq!(replayed.kind, v.kind);
+        assert_eq!(replayed.at, v.at);
+    }
+
+    #[test]
+    fn expected_deliveries_number_repeated_flows() {
+        let cfg = CheckConfig {
+            name: "t",
+            about: "",
+            build: || unreachable!("never built"),
+            events: vec![
+                EnvEvent {
+                    op: EnvOp::Inject { src: 0, dst: 1, len: 2 },
+                    lo: 0,
+                    hi: 0,
+                },
+                EnvEvent {
+                    op: EnvOp::KillLink { link: 0 },
+                    lo: 0,
+                    hi: 0,
+                },
+                EnvEvent {
+                    op: EnvOp::Inject { src: 0, dst: 1, len: 2 },
+                    lo: 0,
+                    hi: 0,
+                },
+                EnvEvent {
+                    op: EnvOp::Inject { src: 1, dst: 0, len: 2 },
+                    lo: 0,
+                    hi: 0,
+                },
+            ],
+            expect_violation: false,
+            require_all_delivered: true,
+            max_cycles: 10,
+        };
+        assert_eq!(
+            cfg.expected_deliveries(),
+            vec![(0, 1, 0), (0, 1, 1), (1, 0, 0)]
+        );
+    }
+}

@@ -207,7 +207,7 @@ impl Injector {
             return 0;
         }
         if self.protocol.pads() {
-            (msg.i_min as u32).saturating_sub(msg.payload_len)
+            crate::network::idx32(msg.i_min).saturating_sub(msg.payload_len)
         } else {
             0
         }
@@ -303,6 +303,53 @@ impl Injector {
             }
         }
         out
+    }
+
+    /// Appends this injector's protocol-relevant state to `out` in the
+    /// model checker's canonical form (see [`crate::check_api`]).
+    /// Times are relative to `now` and message identities are `(src,
+    /// dst, msg_seq)` flow keys rather than raw ids, so two simulator
+    /// states that differ only in message-id assignment order encode
+    /// identically. Metrics-only fields (`created`, counters) are
+    /// deliberately excluded.
+    pub(crate) fn encode_state(&self, now: Cycle, out: &mut Vec<u8>) {
+        fn put_msg(out: &mut Vec<u8>, m: &PendingMessage) {
+            out.extend_from_slice(&m.src.as_u32().to_le_bytes());
+            out.extend_from_slice(&m.dst.as_u32().to_le_bytes());
+            out.extend_from_slice(&m.msg_seq.to_le_bytes());
+            out.extend_from_slice(&m.payload_len.to_le_bytes());
+            out.extend_from_slice(&(m.i_min as u64).to_le_bytes());
+            out.extend_from_slice(&m.attempts.to_le_bytes());
+        }
+        out.extend_from_slice(&crate::network::idx32(self.queue.len()).to_le_bytes());
+        for m in &self.queue {
+            put_msg(out, m);
+        }
+        match &self.current {
+            None => out.push(0),
+            Some(c) => {
+                out.push(1);
+                put_msg(out, &c.msg);
+                out.extend_from_slice(&c.worm.attempt.to_le_bytes());
+                out.extend_from_slice(&c.total_len.to_le_bytes());
+                out.extend_from_slice(&c.next.to_le_bytes());
+                out.extend_from_slice(&c.stall.to_le_bytes());
+                match c.resume_at {
+                    None => out.push(0),
+                    Some(r) => {
+                        out.push(1);
+                        out.extend_from_slice(&r.saturating_since(now).to_le_bytes());
+                    }
+                }
+            }
+        }
+        let mut vulnerable: Vec<&PendingMessage> = self.vulnerable.values().collect();
+        vulnerable.sort_by_key(|m| (m.src, m.dst, m.msg_seq));
+        out.extend_from_slice(&crate::network::idx32(vulnerable.len()).to_le_bytes());
+        for m in vulnerable {
+            put_msg(out, m);
+        }
+        out.extend_from_slice(&self.rng.words_consumed().to_le_bytes());
     }
 
     /// Called by the network after it tears down `worm` at this

@@ -119,6 +119,19 @@ impl KilledMap {
         }
     }
 
+    /// All live entries, in storage order. Storage order depends on
+    /// insertion history, so callers that need a canonical view (the
+    /// model checker's state encoding) must sort by their own key.
+    pub(crate) fn entries(&self) -> Vec<(WormId, Cycle)> {
+        self.slots
+            .iter()
+            .filter_map(|s| match *s {
+                Slot::Full(k, v) => Some((k, v)),
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Keeps entries whose value satisfies `pred` — the periodic
     /// registry prune. Equivalent to `HashMap::retain` with a
     /// value-only predicate (the registry's predicate never looks at

@@ -60,6 +60,7 @@ mod report;
 mod retransmit;
 
 pub use builder::NetworkBuilder;
+pub use network::check_api;
 pub use config::{Ablations, NetworkConfig, ProtocolKind, RoutingKind};
 pub use injector::{Injector, InjectorState, PendingMessage};
 pub use network::Network;

@@ -55,6 +55,16 @@ use std::collections::VecDeque;
 #[path = "network_sharded.rs"]
 mod sharded;
 
+#[path = "check_api.rs"]
+pub mod check_api;
+
+/// Checked narrowing of a dense table index or length to the `u32`
+/// the packed encodings and active-set members use.
+pub(crate) fn idx32(i: usize) -> u32 {
+    // cr-lint: allow(panic-discipline, reason = "dense indices and lengths sit far below u32::MAX by construction; wrapping silently would corrupt state")
+    u32::try_from(i).expect("index exceeds u32::MAX")
+}
+
 #[derive(Debug)]
 struct LinkState {
     /// Flits in flight or parked in the channel's stall-holding
@@ -284,7 +294,7 @@ impl Network {
 
         let mut routers = Vec::with_capacity(n);
         for i in 0..n {
-            let node = NodeId::new(i as u32);
+            let node = NodeId::from_index(i);
             let rc = RouterConfig {
                 num_node_ports: topo.num_ports(node),
                 num_vcs,
@@ -312,7 +322,7 @@ impl Network {
 
         let mut injectors: Vec<Vec<Injector>> = Vec::with_capacity(n);
         for i in 0..n {
-            let node = NodeId::new(i as u32);
+            let node = NodeId::from_index(i);
             injectors.push(
                 (0..cfg.inject_channels)
                     .map(|c| {
@@ -333,18 +343,18 @@ impl Network {
                 inj.set_ablations(cfg.ablations);
             }
         }
-        let receivers = (0..n).map(|i| Receiver::new(NodeId::new(i as u32))).collect();
+        let receivers = (0..n).map(|i| Receiver::new(NodeId::from_index(i))).collect();
 
         // Link tables.
         let descs = topo.links();
         let mut links = Vec::with_capacity(descs.len());
         let mut out_link: Vec<Vec<Option<usize>>> = (0..n)
-            .map(|i| vec![None; topo.num_ports(NodeId::new(i as u32))])
+            .map(|i| vec![None; topo.num_ports(NodeId::from_index(i))])
             .collect();
         let mut link_head = Vec::with_capacity(descs.len());
         let mut link_ids = Vec::with_capacity(descs.len());
         let mut in_upstream: Vec<Vec<Option<(usize, PortId)>>> = (0..n)
-            .map(|i| vec![None; topo.num_ports(NodeId::new(i as u32))])
+            .map(|i| vec![None; topo.num_ports(NodeId::from_index(i))])
             .collect();
         for (idx, d) in descs.iter().enumerate() {
             links.push(LinkState {
@@ -376,8 +386,9 @@ impl Network {
             let s = node_shard[d.dst.index()] as usize;
             let pi = next[s];
             next[s] += 1;
-            link_perm[idx] = pi as u32;
-            link_orig[pi] = idx as u32;
+            link_perm[idx] = idx32(pi);
+            link_orig[pi] = idx32(idx);
+            // cr-lint: allow(integer-narrowing, reason = "s indexes node_shard, whose entries are already u16 shard numbers")
             link_shard[pi] = s as u16;
         }
 
@@ -386,7 +397,7 @@ impl Network {
         let max_id = descs.iter().map(|d| d.id.index() + 1).max().unwrap_or(0);
         let mut link_by_id = vec![u32::MAX; max_id];
         for (idx, d) in descs.iter().enumerate() {
-            link_by_id[d.id.index()] = idx as u32;
+            link_by_id[d.id.index()] = idx32(idx);
         }
 
         // Regional outages expand to concrete kill/revive pairs once,
@@ -644,13 +655,13 @@ impl Network {
 
     /// Marks a router possibly-active (it gained a flit).
     fn arm_router(&mut self, node: usize) {
-        self.router_sets[self.node_shard[node] as usize].insert(node as u32);
+        self.router_sets[self.node_shard[node] as usize].insert(idx32(node));
     }
 
     /// Marks an injector possibly-active (it gained work).
     fn arm_injector(&mut self, node: usize, channel: usize) {
         self.injector_sets[self.node_shard[node] as usize]
-            .insert((node * self.cfg.inject_channels + channel) as u32);
+            .insert(idx32(node * self.cfg.inject_channels + channel));
     }
 
     /// Parks `flit` on link `li`'s lane `vc`, due at `arrive`, keeping
@@ -661,7 +672,7 @@ impl Network {
         let pi = self.link_perm[li] as usize;
         self.links[pi].lanes[vc.index()].push_back((arrive, flit));
         self.links[pi].occupied += 1;
-        if self.link_sets[self.link_shard[pi] as usize].insert(pi as u32)
+        if self.link_sets[self.link_shard[pi] as usize].insert(idx32(pi))
             || arrive < self.link_wake[pi]
         {
             self.link_wake[pi] = arrive;
@@ -758,7 +769,7 @@ impl Network {
         // Message ids are dense and monotonic, so the source table is
         // a plain push-indexed vector.
         debug_assert_eq!(self.worm_sources.len() as u64, id.as_u64());
-        let encoded = (src.index() * self.cfg.inject_channels + channel) as u32;
+        let encoded = idx32(src.index() * self.cfg.inject_channels + channel);
         debug_assert_ne!(encoded, SOURCE_GONE);
         self.worm_sources.push(encoded);
         self.injector_enqueue(src.index(), channel, msg);
@@ -998,7 +1009,7 @@ impl Network {
                     // Worms holding the upstream output are stranded
                     // mid-transmission by this kill.
                     for v in 0..num_vcs {
-                        let vc = VcId::new(v as u8);
+                        let vc = VcId::from_index(v);
                         if let Some((ip, ivc)) = self.routers[src].output_owner(src_port, vc) {
                             if let Some(w) = self.routers[src].worm_of(ip, ivc) {
                                 affected.push(w.message);
@@ -1126,7 +1137,7 @@ impl Network {
             let pi = self.link_perm[li] as usize;
             let (dst_node, dst_port) = self.link_head[li];
             for v in 0..self.links[pi].lanes.len() {
-                let vc = VcId::new(v as u8);
+                let vc = VcId::from_index(v);
                 loop {
                     // Wormhole channels are stall-holding: a flit
                     // stays in the channel's pipeline latches while
@@ -1343,8 +1354,8 @@ impl Network {
         }
         for n in 0..self.sources.len() {
             if let Some(req) = self.sources[n].poll() {
-                let src = NodeId::new(n as u32);
-                self.send_message(src, req.dst, req.length as u32);
+                let src = NodeId::from_index(n);
+                self.send_message(src, req.dst, idx32(req.length));
                 // send_message stamps `created: self.now`, which is
                 // `now` — correct.
             }
@@ -1406,7 +1417,7 @@ impl Network {
         if let Some((worm, dst)) = out.started {
             self.trace.emit(|| Event::Inject {
                 at: now,
-                src: NodeId::new(n as u32),
+                src: NodeId::from_index(n),
                 dst,
                 message: worm.message,
                 attempt: worm.attempt,
@@ -1415,7 +1426,7 @@ impl Network {
         if let Some(worm) = out.committed {
             self.trace.emit(|| Event::Commit {
                 at: now,
-                src: NodeId::new(n as u32),
+                src: NodeId::from_index(n),
                 message: worm.message,
                 attempt: worm.attempt,
             });
@@ -1532,7 +1543,7 @@ impl Network {
                 // what makes per-shard traversal order-free: credits
                 // buffered by every shard commit together at the
                 // barrier (DESIGN.md §12).
-                self.credit_scratch.push((n as u32, t.from_port, t.from_vc));
+                self.credit_scratch.push((idx32(n), t.from_port, t.from_vc));
             }
             match t.target {
                 RouteTarget::Link { port, vc } => {
@@ -1779,7 +1790,7 @@ impl Network {
         }
         self.trace.emit(|| Event::Kill {
             at: now,
-            node: NodeId::new(node as u32),
+            node: NodeId::from_index(node),
             message: worm.message,
             attempt: worm.attempt,
             cause,
@@ -1819,7 +1830,7 @@ impl Network {
     /// drained behind the worm's tail).
     fn continue_backward(&mut self, now: Cycle, t: Token) {
         if self.routers[t.node].port_kind(t.port) == PortKind::Inject {
-            let channel = t.port.index() - self.topo.num_ports(NodeId::new(t.node as u32));
+            let channel = t.port.index() - self.topo.num_ports(NodeId::from_index(t.node));
             let retx = self.injector_on_killed(t.node, channel, now, t.worm);
             self.emit_retransmit(now, t.worm.message, retx);
             return;

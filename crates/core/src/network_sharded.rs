@@ -145,7 +145,7 @@ impl<'a> Shared<'a> {
         vc: VcId,
     ) {
         if let Some((up_node, up_out)) = self.in_upstream[node][in_port.index()] {
-            scratch.credits.push((up_node as u32, up_out, vc));
+            scratch.credits.push((crate::network::idx32(up_node), up_out, vc));
         }
     }
 }
@@ -614,7 +614,7 @@ fn arrivals_task(
         let dst_local = dst_node - node_lo;
         let link_dead = shared.faults.is_dead(shared.link_ids[li]);
         for v in 0..links_s[local].lanes.len() {
-            let vc = VcId::new(v as u8);
+            let vc = VcId::from_index(v);
             loop {
                 let killed = match links_s[local].lanes[v].front() {
                     Some(&(arrive, ref flit)) if arrive <= now => {
@@ -647,7 +647,7 @@ fn arrivals_task(
                     continue;
                 }
                 routers_s[dst_local].accept(now, dst_port, vc, flit);
-                router_set.insert(dst_node as u32);
+                router_set.insert(crate::network::idx32(dst_node));
                 scratch.progress = true;
             }
         }
@@ -692,7 +692,7 @@ fn injection_task(
         if out.injected_flit {
             scratch.progress = true;
             scratch.live_delta += 1;
-            router_set.insert(n as u32);
+            router_set.insert(crate::network::idx32(n));
             if out.injected_pad {
                 scratch.counters.pad_flits_injected += 1;
             } else {
@@ -706,7 +706,7 @@ fn injection_task(
             if let Some((worm, dst)) = out.started {
                 scratch.events.push(Event::Inject {
                     at: now,
-                    src: NodeId::new(n as u32),
+                    src: NodeId::from_index(n),
                     dst,
                     message: worm.message,
                     attempt: worm.attempt,
@@ -715,7 +715,7 @@ fn injection_task(
             if let Some(worm) = out.committed {
                 scratch.events.push(Event::Commit {
                     at: now,
-                    src: NodeId::new(n as u32),
+                    src: NodeId::from_index(n),
                     message: worm.message,
                     attempt: worm.attempt,
                 });
@@ -727,7 +727,7 @@ fn injection_task(
             if shared.trace_on {
                 scratch.events.push(Event::Kill {
                     at: now,
-                    node: NodeId::new(n as u32),
+                    node: NodeId::from_index(n),
                     message: worm.message,
                     attempt: worm.attempt,
                     cause: KillCause::SourceTimeout,
@@ -845,8 +845,8 @@ fn traverse_task(
                         debug_assert!(false, "route to disconnected port");
                         continue;
                     };
-                    scratch.push_li.push(li as u32);
-                    scratch.push_vc.push(vc.index() as u8);
+                    scratch.push_li.push(crate::network::idx32(li));
+                    scratch.push_vc.push(vc.as_u8());
                     scratch.push_flit.push(t.flit);
                 }
                 RouteTarget::Eject { .. } => {

@@ -184,6 +184,54 @@ impl Receiver {
         out
     }
 
+    /// Appends this receiver's protocol-relevant state to `out` in the
+    /// model checker's canonical form (see [`crate::check_api`]).
+    /// `label` maps a raw message id to its `(src, dst, msg_seq)` flow
+    /// key so the encoding is invariant under message-id assignment
+    /// order; assemblies are sorted by that key before encoding
+    /// because `BTreeMap` iteration follows raw ids. Metrics-only
+    /// fields (counters, `created`/`delivered` stamps) are excluded.
+    pub(crate) fn encode_state(
+        &self,
+        now: Cycle,
+        label: &dyn Fn(MessageId) -> (u32, u32, u64),
+        out: &mut Vec<u8>,
+    ) {
+        fn put_label(out: &mut Vec<u8>, l: (u32, u32, u64)) {
+            out.extend_from_slice(&l.0.to_le_bytes());
+            out.extend_from_slice(&l.1.to_le_bytes());
+            out.extend_from_slice(&l.2.to_le_bytes());
+        }
+        let mut asm: Vec<((u32, u32, u64), u32, &Assembly)> = self
+            .assembling
+            .iter()
+            .map(|(w, a)| (label(w.message), w.attempt, a))
+            .collect();
+        asm.sort_by_key(|&(l, attempt, _)| (l, attempt));
+        out.extend_from_slice(&crate::network::idx32(asm.len()).to_le_bytes());
+        for (l, attempt, a) in asm {
+            put_label(out, l);
+            out.extend_from_slice(&attempt.to_le_bytes());
+            out.extend_from_slice(&a.flits_seen.to_le_bytes());
+            out.push(u8::from(a.corrupt_payload));
+            out.extend_from_slice(&now.saturating_since(a.last_update).to_le_bytes());
+        }
+        out.extend_from_slice(&crate::network::idx32(self.expected.len()).to_le_bytes());
+        for (n, seq) in &self.expected {
+            out.extend_from_slice(&n.as_u32().to_le_bytes());
+            out.extend_from_slice(&seq.to_le_bytes());
+        }
+        out.extend_from_slice(&crate::network::idx32(self.reorder.len()).to_le_bytes());
+        for ((src, seq), m) in &self.reorder {
+            out.extend_from_slice(&src.as_u32().to_le_bytes());
+            out.extend_from_slice(&seq.to_le_bytes());
+            out.extend_from_slice(&m.payload_len.to_le_bytes());
+            out.extend_from_slice(&m.worm_len.to_le_bytes());
+            out.extend_from_slice(&m.attempts.to_le_bytes());
+            out.push(u8::from(m.corrupt));
+        }
+    }
+
     /// Discards the partial assembly of `worm` (forward kill reached
     /// the ejection port, or its flits were dropped mid-flight).
     pub fn discard(&mut self, worm: WormId) {

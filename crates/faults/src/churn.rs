@@ -242,10 +242,11 @@ impl ChurnSchedule {
             let Some(center) = rng.pick_index(nodes) else {
                 break; // empty topology: nothing to kill
             };
+            // cr-lint: allow(integer-narrowing, reason = "pick_index result is at most max_radius, itself a u32")
             let radius = rng.pick_index(max_radius as usize + 1).unwrap_or(0) as u32;
             let at = window_start + rng.pick_index(span as usize).unwrap_or(0) as u64;
             let down_for = min_down + rng.pick_index(down_span as usize).unwrap_or(0) as u64;
-            self.regional_outage(at, NodeId::new(center as u32), radius, down_for);
+            self.regional_outage(at, NodeId::from_index(center), radius, down_for);
         }
         self
     }

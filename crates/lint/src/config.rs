@@ -11,7 +11,7 @@
 /// result paths: anything nondeterministic here can change reported
 /// numbers. `HashMap`/`HashSet` are banned in favour of `KilledMap`,
 /// dense `Vec`s, or `BTreeMap`/`BTreeSet`.
-pub const HASH_RULE_CRATES: &[&str] = &["sim", "router", "core", "faults", "experiments"];
+pub const HASH_RULE_CRATES: &[&str] = &["sim", "router", "core", "faults", "experiments", "check"];
 
 /// The one crate allowed to read wall clocks: the bench harness times
 /// things by definition. Everything else must be cycle-driven.
@@ -39,6 +39,31 @@ pub const PANIC_RULE_FILES: &[&str] = &[
     "crates/faults/src/lib.rs",
     "crates/faults/src/churn.rs",
     "crates/experiments/src/harness.rs",
+    "crates/core/src/check_api.rs",
+    "crates/check/src/model.rs",
+];
+
+/// Protocol and hot-path files where a bare `as` narrowing cast
+/// (`as u8`/`u16`/`u32`/`i8`/`i16`/`i32`) is banned: a silently
+/// wrapping cast on a flit count, credit tally or state encoding is
+/// exactly the kind of bug the checker exists to rule out. Use
+/// `try_from` (and handle or justify the failure) or annotate with
+/// `// cr-lint: allow(integer-narrowing, reason = "…")`.
+pub const NARROWING_RULE_FILES: &[&str] = &[
+    "crates/core/src/network.rs",
+    "crates/core/src/network_sharded.rs",
+    "crates/core/src/injector.rs",
+    "crates/core/src/receiver.rs",
+    "crates/core/src/killmap.rs",
+    "crates/core/src/check_api.rs",
+    "crates/router/src/router.rs",
+    "crates/sim/src/fifo.rs",
+    "crates/sim/src/sched.rs",
+    "crates/sim/src/shard.rs",
+    "crates/faults/src/lib.rs",
+    "crates/faults/src/churn.rs",
+    "crates/check/src/model.rs",
+    "crates/check/src/hash.rs",
 ];
 
 /// Path roots a `use`/`extern crate` may name: the language itself
@@ -65,6 +90,7 @@ pub const ALLOWED_PATH_ROOTS: &[&str] = &[
     "cr_experiments",
     "cr_bench",
     "cr_lint",
+    "cr_check",
     "compressionless_routing",
 ];
 

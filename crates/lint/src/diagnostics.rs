@@ -35,10 +35,13 @@ impl fmt::Display for Diagnostic {
 }
 
 /// Sorts findings into reporting order: by file, then position, then
-/// rule (two rules can fire on one token).
+/// rule (two rules can fire on one token), then message — the full
+/// record is the key, so `--json` output is byte-stable even if one
+/// rule someday emits two differently-worded findings on one token.
 pub fn sort(diags: &mut [Diagnostic]) {
     diags.sort_by(|a, b| {
-        (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule))
+        (&a.file, a.line, a.col, a.rule, &a.message)
+            .cmp(&(&b.file, b.line, b.col, b.rule, &b.message))
     });
 }
 
@@ -122,6 +125,21 @@ mod tests {
         assert!(lines[0].starts_with("a.rs:1:9:"));
         assert!(lines[1].starts_with("a.rs:2:1:"));
         assert!(lines[2].starts_with("b.rs:1:1:"));
+    }
+
+    #[test]
+    fn same_position_same_rule_sorts_by_message() {
+        let mut a = diag("a.rs", 1, 1, "r");
+        a.message = "zeta".to_string();
+        let mut b = diag("a.rs", 1, 1, "r");
+        b.message = "alpha".to_string();
+        // Whatever order findings arrive in, rendering is identical.
+        let mut fwd = vec![a.clone(), b.clone()];
+        let mut rev = vec![b, a];
+        sort(&mut fwd);
+        sort(&mut rev);
+        assert_eq!(render_json(&fwd), render_json(&rev));
+        assert_eq!(fwd[0].message, "alpha");
     }
 
     #[test]

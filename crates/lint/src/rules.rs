@@ -13,6 +13,7 @@
 //! | `unsafe-code`       | no `unsafe` anywhere, `#![forbid(unsafe_code)]` in every crate root |
 //! | `panic-discipline`  | no `unwrap`/`expect`/`panic!`/`todo!`/`unimplemented!` in hot paths |
 //! | `trace-rng`         | record-only tracing: no RNG calls inside `TraceSink::emit` closures |
+//! | `integer-narrowing` | no silently wrapping `as` casts to narrow ints in protocol files |
 //!
 //! Test code (`tests/`, `benches/`, `#[cfg(test)]` items) is exempt
 //! from the determinism and panic rules — tests legitimately model
@@ -27,7 +28,8 @@
 
 use crate::allow;
 use crate::config::{
-    FileContext, Region, HASH_RULE_CRATES, PANIC_RULE_FILES, SPAWN_EXEMPT_FILES, WALL_CLOCK_CRATE,
+    FileContext, Region, HASH_RULE_CRATES, NARROWING_RULE_FILES, PANIC_RULE_FILES,
+    SPAWN_EXEMPT_FILES, WALL_CLOCK_CRATE,
 };
 use crate::config::ALLOWED_PATH_ROOTS;
 use crate::diagnostics::Diagnostic;
@@ -43,6 +45,7 @@ pub const RULES: &[&str] = &[
     "unsafe-code",
     "panic-discipline",
     "trace-rng",
+    "integer-narrowing",
     "unused-allow",
     "malformed-allow",
 ];
@@ -70,6 +73,7 @@ pub fn lint_file(ctx: &FileContext, src: &str) -> Vec<Diagnostic> {
     scan.unsafe_code(&mut diags);
     scan.panic_discipline(&mut diags);
     scan.trace_rng(&mut diags);
+    scan.integer_narrowing(&mut diags);
     let mut out = allow::apply(&ctx.rel_path, allows, diags);
     out.append(&mut malformed);
     out
@@ -331,6 +335,37 @@ impl Scan<'_> {
         }
     }
 
+    fn integer_narrowing(&self, out: &mut Vec<Diagnostic>) {
+        if !NARROWING_RULE_FILES.contains(&self.ctx.rel_path.as_str()) {
+            return;
+        }
+        // Lexical by design: any `as` cast to a sub-64-bit integer
+        // type is flagged, narrowing or not — a widening cast to a
+        // narrow type reads as `u32::from(x)` just as well, and the
+        // rule stays a two-token scan.
+        for (i, t) in self.toks.iter().enumerate() {
+            if !(t.is_ident("as") && self.is_shipping(t.line)) {
+                continue;
+            }
+            let Some(ty) = self.toks.get(i + 1) else { continue };
+            if ty.kind == TokKind::Ident
+                && matches!(ty.text.as_str(), "u8" | "u16" | "u32" | "i8" | "i16" | "i32")
+            {
+                self.diag(
+                    out,
+                    t,
+                    "integer-narrowing",
+                    format!(
+                        "`as {}` in a protocol file wraps silently on overflow: use \
+                         `{}::try_from` (or `::from` when widening), or justify with \
+                         `// cr-lint: allow(...)`",
+                        ty.text, ty.text
+                    ),
+                );
+            }
+        }
+    }
+
     /// Index of the `)` matching the `(` at `open` (or end of stream).
     fn matching_paren(&self, open: usize) -> usize {
         let mut depth = 0usize;
@@ -510,6 +545,25 @@ fn prod() { x.unwrap(); }
         // Randomness outside the emit closure is fine.
         let src = "fn f() { let v = self.rng.pick_index(4); sink.emit(|| Event::Kill { at: v }); }\n";
         assert!(rules_hit("crates/core/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn integer_narrowing_scoped_and_lexical() {
+        let src = "fn f(x: u64) -> u32 { x as u32 }\n";
+        assert_eq!(
+            rules_hit("crates/core/src/network.rs", src),
+            vec!["integer-narrowing"]
+        );
+        // Outside the scoped protocol files the cast is fine.
+        assert!(rules_hit("crates/core/src/report.rs", src).is_empty());
+        // Tests are exempt.
+        assert!(rules_hit("crates/core/tests/x.rs", src).is_empty());
+        // Widening and usize casts are not flagged.
+        let ok = "fn f(x: u8) -> u64 { (x as u64) + (x as usize as u64) }\n";
+        assert!(rules_hit("crates/core/src/network.rs", ok).is_empty());
+        // `use … as alias` does not trip the scan.
+        let alias = "use std::fmt::Debug as Dbg;\nfn f(_d: &dyn Dbg) {}\n";
+        assert!(rules_hit("crates/core/src/network.rs", alias).is_empty());
     }
 
     #[test]

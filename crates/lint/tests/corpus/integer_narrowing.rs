@@ -1,0 +1,26 @@
+//@ lint-as: crates/router/src/router.rs
+fn narrow(link: u64) -> u16 {
+    link as u16
+}
+
+fn widen_but_still_flagged(x: u8) -> u32 {
+    x as u32
+}
+
+fn fine(x: u32) -> u64 {
+    // Widening to u64 (or pointer-width usize) is outside the rule.
+    (x as u64) + (x as usize as u64)
+}
+
+fn justified(seq: u64) -> u8 {
+    // cr-lint: allow(integer-narrowing, reason = "masked to one byte on the line below")
+    (seq & 0xff) as u8
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_cast_freely() {
+        assert_eq!(3_u64 as u8, 3);
+    }
+}

@@ -357,7 +357,7 @@ impl Router {
     /// Panics if `i >= num_inject`.
     pub fn inject_port(&self, i: usize) -> PortId {
         assert!(i < self.cfg.num_inject, "injection channel out of range");
-        PortId::new((self.cfg.num_node_ports + i) as u16)
+        PortId::from_index(self.cfg.num_node_ports + i)
     }
 
     /// What kind of input unit `port` is.
@@ -483,7 +483,7 @@ impl Router {
                 self.counters.orphan_flits_dropped += 1;
                 if p < self.cfg.num_node_ports {
                     self.orphan_credits
-                        .push((PortId::new(p as u16), VcId::new(v as u8)));
+                        .push((PortId::from_index(p), VcId::from_index(v)));
                 }
                 continue;
             }
@@ -495,7 +495,7 @@ impl Router {
                     .position(|ej| ej.allocated_to.is_none())
                 {
                     self.ejects[e].allocated_to =
-                        Some((PortId::new(p as u16), VcId::new(v as u8)));
+                        Some((PortId::from_index(p), VcId::from_index(v)));
                     let ivc = &mut self.inputs[p][v];
                     ivc.route = Some(RouteTarget::Eject { port: e });
                     ivc.worm = Some(front.worm);
@@ -524,7 +524,7 @@ impl Router {
             });
             if let Some(c) = grant {
                 self.outputs[c.port.index()][c.vc.index()].allocated_to =
-                    Some((PortId::new(p as u16), VcId::new(v as u8)));
+                    Some((PortId::from_index(p), VcId::from_index(v)));
                 let ivc = &mut self.inputs[p][v];
                 ivc.route = Some(RouteTarget::Link {
                     port: c.port,
@@ -650,8 +650,8 @@ impl Router {
                     from_port: ip,
                     from_vc: iv,
                     target: RouteTarget::Link {
-                        port: PortId::new(port as u16),
-                        vc: VcId::new(vc as u8),
+                        port: PortId::from_index(port),
+                        vc: VcId::from_index(vc),
                     },
                 });
                 sent = true;
@@ -664,7 +664,7 @@ impl Router {
                 &mut self.finished_streaks,
                 self.record_streaks,
                 self.dead_out[port],
-                PortId::new(port as u16),
+                PortId::from_index(port),
                 now,
                 sent,
                 blocked,
@@ -892,6 +892,26 @@ impl Router {
         self.inputs[port.index()][vc.index()].buf.front()
     }
 
+    /// The flit at queue position `i` (0 = front) of input VC
+    /// `(port, vc)`, or `None` past the back. The model checker walks
+    /// whole buffers with this when encoding a canonical state.
+    pub fn flit_at(&self, port: PortId, vc: VcId, i: usize) -> Option<&Flit> {
+        self.inputs[port.index()][vc.index()].buf.get(i)
+    }
+
+    /// Which input VC holds ejection port `e`, if any.
+    pub fn eject_owner(&self, e: usize) -> Option<(PortId, VcId)> {
+        self.ejects[e].allocated_to
+    }
+
+    /// Position of this router's adaptive tie-break RNG, in 32-bit
+    /// keystream words consumed. Part of the checker's canonical state:
+    /// the stream itself is fixed by the seed, so the position pins all
+    /// future draws.
+    pub fn rng_words_consumed(&self) -> u64 {
+        self.rng.words_consumed()
+    }
+
     /// Total flits buffered anywhere in this router. O(1): maintained
     /// incrementally at every push/pop/flush site.
     pub fn total_occupancy(&self) -> usize {
@@ -950,7 +970,7 @@ impl Router {
                     None => continue,
                 };
                 if now.saturating_since(ivc.last_progress) >= threshold {
-                    out.push((PortId::new(p as u16), VcId::new(v as u8), worm));
+                    out.push((PortId::from_index(p), VcId::from_index(v), worm));
                 }
             }
         }

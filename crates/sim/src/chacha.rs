@@ -126,6 +126,18 @@ impl ChaCha8 {
         }
     }
 
+    /// Number of keystream words handed out so far.
+    ///
+    /// Pure read: the stream position is derived from the block counter
+    /// and the buffer cursor, so calling this never advances the
+    /// golden-pinned keystream. A fresh generator reports 0.
+    pub(crate) fn words_consumed(&self) -> u64 {
+        // After a refill `counter` is one past the buffered block, and
+        // `idx` words of that block have been read. Fresh generators
+        // (counter 0, idx 16) land on 0 exactly.
+        (self.counter * 16 + self.idx as u64) - 16
+    }
+
     /// Returns the next keystream word.
     #[inline]
     pub(crate) fn next_word(&mut self) -> u32 {

@@ -133,6 +133,12 @@ impl<T> Fifo<T> {
         before - self.items.len()
     }
 
+    /// Returns the element at queue position `i` (0 = front), or
+    /// `None` past the back.
+    pub fn get(&self, i: usize) -> Option<&T> {
+        self.items.get(i)
+    }
+
     /// Iterates over queued elements from front to back.
     pub fn iter(&self) -> impl Iterator<Item = &T> {
         self.items.iter()

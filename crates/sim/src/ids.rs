@@ -31,6 +31,18 @@ impl NodeId {
         NodeId(index)
     }
 
+    /// Creates a node identifier from a table index, checking the
+    /// narrowing conversion (the lossless inverse of
+    /// [`NodeId::index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` — no real topology comes
+    /// within orders of magnitude of that.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32::MAX"))
+    }
+
     /// Returns the raw index as a `usize`, suitable for table lookups.
     pub const fn index(self) -> usize {
         self.0 as usize
@@ -115,9 +127,26 @@ impl PortId {
         PortId(index)
     }
 
+    /// Creates a port identifier from a table index, checking the
+    /// narrowing conversion (the lossless inverse of
+    /// [`PortId::index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u16::MAX` — router radixes are tiny.
+    pub fn from_index(index: usize) -> Self {
+        PortId(u16::try_from(index).expect("port index exceeds u16::MAX"))
+    }
+
     /// Returns the raw index as a `usize`.
     pub const fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Returns the raw index at its backing width (lossless, unlike a
+    /// cast from [`PortId::index`]).
+    pub const fn as_u16(self) -> u16 {
+        self.0
     }
 }
 
@@ -149,9 +178,27 @@ impl VcId {
         VcId(index)
     }
 
+    /// Creates a virtual-channel identifier from a table index,
+    /// checking the narrowing conversion (the lossless inverse of
+    /// [`VcId::index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u8::MAX` — VC counts are single
+    /// digits.
+    pub fn from_index(index: usize) -> Self {
+        VcId(u8::try_from(index).expect("vc index exceeds u8::MAX"))
+    }
+
     /// Returns the raw index as a `usize`.
     pub const fn index(self) -> usize {
         self.0 as usize
+    }
+
+    /// Returns the raw index at its backing width (lossless, unlike a
+    /// cast from [`VcId::index`]).
+    pub const fn as_u8(self) -> u8 {
+        self.0
     }
 }
 

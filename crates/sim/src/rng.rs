@@ -79,6 +79,17 @@ impl SimRng {
         SimRng::from_seed(z)
     }
 
+    /// Number of 32-bit keystream words this generator has produced.
+    ///
+    /// Together with [`SimRng::seed`] this pins the generator's exact
+    /// state, which is what the model checker's canonical state
+    /// encoding needs: two simulator states whose RNGs sit at the same
+    /// position in the same stream will draw identically forever.
+    /// Reading the position never advances the stream.
+    pub fn words_consumed(&self) -> u64 {
+        self.inner.words_consumed()
+    }
+
     /// Returns `true` with probability `p`.
     ///
     /// # Panics

@@ -54,6 +54,7 @@ pub fn even_bounds(num_nodes: usize, shards: usize) -> Vec<u32> {
     bounds.push(0);
     for s in 0..shards {
         at += base + usize::from(s < extra);
+        // cr-lint: allow(integer-narrowing, reason = "at never exceeds num_nodes, and node counts are u32-dense")
         bounds.push(at as u32);
     }
     bounds
@@ -111,6 +112,7 @@ impl Plan {
         } else {
             even_bounds(num_nodes, shards)
         };
+        // cr-lint: allow(integer-narrowing, reason = "node counts are u32-dense (NodeId is u32-backed)")
         let n = num_nodes as u32;
         bounds[0] = 0;
         for i in 1..bounds.len() {
@@ -167,6 +169,7 @@ impl Plan {
         let mut table = Vec::with_capacity(self.num_nodes());
         for s in 0..self.num_shards() {
             for _ in self.range(s) {
+                // cr-lint: allow(integer-narrowing, reason = "shard counts are tiny (bounded by the host's core count)")
                 table.push(s as u16);
             }
         }

@@ -34,6 +34,33 @@ fi
 rm -f "$lint_json"
 echo "verify: cr-lint clean"
 
+# Exhaustive protocol checking (DESIGN.md §14): the cr-check battery
+# must close its state spaces violation-free within a fixed budget,
+# every mutation must yield a counterexample, the --json report must
+# be byte-stable across runs, and an emitted counterexample must
+# replay.
+check_dir="$(mktemp -d)"
+./target/release/cr-check --all --budget 200000 --json > "$check_dir/check1.json"
+./target/release/cr-check --all --budget 200000 --json > "$check_dir/check2.json"
+if ! diff -q "$check_dir/check1.json" "$check_dir/check2.json" > /dev/null; then
+    echo "verify: FAIL — cr-check --json output is not byte-stable" >&2
+    diff "$check_dir/check1.json" "$check_dir/check2.json" | head -40 >&2
+    rm -rf "$check_dir"
+    exit 1
+fi
+if ! ./target/release/cr-check --mutate all --budget 200000 \
+        --emit-cex "$check_dir/cex.json" > /dev/null
+then
+    # Mutations are *expected* to find violations, so a passing run
+    # exits 0; any nonzero status means one failed to falsify.
+    echo "verify: FAIL — a cr-check mutation did not produce its counterexample" >&2
+    rm -rf "$check_dir"
+    exit 1
+fi
+./target/release/cr-check --replay "$check_dir/cex.json" > /dev/null
+rm -rf "$check_dir"
+echo "verify: cr-check battery closed, mutations falsified, counterexample replayed"
+
 cargo test -q --offline --workspace
 
 # Documentation is part of tier-1: broken intra-doc links or missing
