@@ -5,9 +5,11 @@
 //! effective parallelism, at `Scale::Tiny` and `Scale::Quick`. The
 //! resulting `target/bench/BENCH_sweep.json` records the wall clock of
 //! each configuration plus a derived simulated-cycles-per-second
-//! throughput, and its `meta` block states the job count the run was
-//! measured under — the committed repo-root snapshot is the recorded
-//! baseline the ISSUE asks for.
+//! throughput; its `meta` block states the job count the run was
+//! measured under, and every benchmark object carries its own
+//! `(jobs, shards)` configuration so scripts/bench_compare.sh keys
+//! comparisons on the full configuration — the committed repo-root
+//! snapshot is the recorded baseline the ISSUE asks for.
 //!
 //! The sweeps are bit-identical by construction (each point owns its
 //! seed), so the two configurations do identical work; any wall-clock
@@ -350,20 +352,35 @@ fn main() {
     let mut g = Group::new("sweep");
 
     g.sample_size(10);
-    g.bench_cycles("tiny_serial", sim_cycles(Scale::Tiny), || {
+    g.bench_cycles_at("tiny_serial", sim_cycles(Scale::Tiny), 1, 1, || {
         run_sweep(1, Scale::Tiny)
     });
-    g.bench_cycles(&format!("tiny_parallel_j{jobs}"), sim_cycles(Scale::Tiny), || {
-        run_sweep(jobs, Scale::Tiny)
-    });
+    g.bench_cycles_at(
+        &format!("tiny_parallel_j{jobs}"),
+        sim_cycles(Scale::Tiny),
+        jobs,
+        1,
+        || run_sweep(jobs, Scale::Tiny),
+    );
+    // A fixed jobs = 2 point exists on every host (even single-core
+    // ones, where `jobs` above resolves to 1), so the snapshot always
+    // carries a jobs > 1 configuration for the executor to be compared
+    // under.
+    if jobs != 2 {
+        g.bench_cycles_at("tiny_parallel_j2", sim_cycles(Scale::Tiny), 2, 1, || {
+            run_sweep(2, Scale::Tiny)
+        });
+    }
 
     g.sample_size(5);
-    g.bench_cycles("quick_serial", sim_cycles(Scale::Quick), || {
+    g.bench_cycles_at("quick_serial", sim_cycles(Scale::Quick), 1, 1, || {
         run_sweep(1, Scale::Quick)
     });
-    g.bench_cycles(
+    g.bench_cycles_at(
         &format!("quick_parallel_j{jobs}"),
         sim_cycles(Scale::Quick),
+        jobs,
+        1,
         || run_sweep(jobs, Scale::Quick),
     );
 
@@ -403,7 +420,14 @@ fn main() {
     ];
     for (name, case) in large {
         let cycles = run_large(case);
-        g.sample_size(3);
+        // Sample counts scale inversely with per-iteration cost: the
+        // second-scale tori stay cheap at 3 samples, while the
+        // millisecond-scale fabrics take 15 so their medians are
+        // stable enough for the 25% bench_compare gate.
+        g.sample_size(match case {
+            LargeCase::Torus64 | LargeCase::Torus256 => 3,
+            LargeCase::FatTree16 | LargeCase::FullMesh128 => 15,
+        });
         g.bench_cycles(name, cycles, || run_large(case));
     }
 
@@ -418,9 +442,13 @@ fn main() {
     ];
     for (name, case) in shard_pairs {
         let cycles = run_shard(case, 1);
-        g.sample_size(3);
-        g.bench_cycles(&format!("{name}_sh1"), cycles, || run_shard(case, 1));
-        g.bench_cycles(&format!("{name}_sh4"), cycles, || run_shard(case, 4));
+        // Same cost-scaled sampling as the drain family above.
+        g.sample_size(match case {
+            LargeCase::Torus64 | LargeCase::Torus256 => 3,
+            LargeCase::FatTree16 | LargeCase::FullMesh128 => 10,
+        });
+        g.bench_cycles_at(&format!("{name}_sh1"), cycles, 1, 1, || run_shard(case, 1));
+        g.bench_cycles_at(&format!("{name}_sh4"), cycles, 1, 4, || run_shard(case, 4));
     }
 
     g.finish();

@@ -279,7 +279,7 @@ impl ProtocolStep for CheckNet {
     fn kill_link_now(&mut self, link: LinkId) {
         // The live-churn kill path (`apply_churn`) minus its
         // metrics-only work (drain trackers, trace events).
-        self.net.faults.kill_link(link);
+        self.net.faults_mut().kill_link(link);
         let li = self.net.link_by_id[link.index()] as usize;
         assert_ne!(li, u32::MAX as usize, "unknown link id");
         let (dst, dst_port) = self.net.link_head[li];
@@ -289,7 +289,7 @@ impl ProtocolStep for CheckNet {
     }
 
     fn revive_link_now(&mut self, link: LinkId) {
-        self.net.faults.revive_link(link);
+        self.net.faults_mut().revive_link(link);
         let li = self.net.link_by_id[link.index()] as usize;
         assert_ne!(li, u32::MAX as usize, "unknown link id");
         let (dst, dst_port) = self.net.link_head[li];
@@ -466,7 +466,7 @@ impl ProtocolStep for CheckNet {
         }
 
         // --- fault model ----------------------------------------------------
-        for &id in &net.link_ids {
+        for &id in net.link_ids.iter() {
             out.push(u8::from(net.faults.is_dead(id)));
         }
         put_u64(out, net.fault_rng.words_consumed());

@@ -46,11 +46,13 @@ use cr_router::{
     RoutingFunction, Traversal, WormId,
 };
 use cr_sim::sched::ActiveSet;
+use cr_sim::shard::Sharded;
 use cr_sim::trace::{Event, KillCause, TraceSink, TraceStats};
 use cr_sim::{Cycle, MessageId, NodeId, PortId, SimRng, VcId};
 use cr_topology::Topology;
 use cr_traffic::TrafficSource;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 #[path = "network_sharded.rs"]
 mod sharded;
@@ -111,35 +113,45 @@ struct ChurnTracker {
 /// A complete simulated network. Build one with
 /// [`NetworkBuilder`](crate::NetworkBuilder).
 pub struct Network {
-    topo: Box<dyn Topology>,
+    // Shared read-only tables (and the serially-mutated killed/faults
+    // registries) sit behind `Arc` so the sharded stepper can hand
+    // clones to the persistent worker team's 'static tasks. The
+    // mutable registries are only written through `killed_mut` /
+    // `faults_mut`, which assert the task clones are gone.
+    topo: Arc<dyn Topology>,
     cfg: NetworkConfig,
-    routing: Box<dyn RoutingFunction>,
-    faults: FaultModel,
+    routing: Arc<dyn RoutingFunction>,
+    faults: Arc<FaultModel>,
     timeout: u64,
 
-    routers: Vec<Router>,
-    injectors: Vec<Vec<Injector>>,
-    receivers: Vec<Receiver>,
+    // Per-component mutable state is stored in per-shard chunks
+    // ([`Sharded`]) so a shard task can take its chunk by value, work
+    // on it on a team worker, and hand it back — no borrows cross the
+    // thread boundary. Indexing is flat (single-chunk fast path keeps
+    // the serial steppers unchanged).
+    routers: Sharded<Router>,
+    injectors: Sharded<Vec<Injector>>,
+    receivers: Sharded<Receiver>,
     sources: Vec<TrafficSource>,
 
-    links: Vec<LinkState>,
+    links: Sharded<LinkState>,
     /// `out_link[node][port]` = link index leaving that port.
-    out_link: Vec<Vec<Option<usize>>>,
+    out_link: Arc<Vec<Vec<Option<usize>>>>,
     /// `link_head[link]` = (dst node, dst input port).
-    link_head: Vec<(usize, PortId)>,
+    link_head: Arc<Vec<(usize, PortId)>>,
     /// `link_ids[link]` = the topology's `LinkId` (fault-model key).
-    link_ids: Vec<cr_sim::LinkId>,
+    link_ids: Arc<Vec<cr_sim::LinkId>>,
     /// Inverse of `link_ids`: `link_by_id[id.index()]` = original link
     /// index (`u32::MAX` for ids the topology never handed out).
     link_by_id: Vec<u32>,
     /// `in_upstream[node][in_port]` = (upstream node, upstream output
     /// port).
-    in_upstream: Vec<Vec<Option<(usize, PortId)>>>,
+    in_upstream: Arc<Vec<Vec<Option<(usize, PortId)>>>>,
 
     /// Post-warmup flits carried per link (channel-utilization
     /// statistics).
     link_flits: Vec<u64>,
-    killed: KilledMap,
+    killed: Arc<KilledMap>,
     registry_lifetime: u64,
     fwd_tokens: Vec<Token>,
     bwd_tokens: Vec<Token>,
@@ -204,7 +216,7 @@ pub struct Network {
     /// Min-updated on every push; may go stale-*early* after purges
     /// (harmless: the link is rescanned and the wake recomputed) but
     /// never stale-late, because pops only raise the true minimum.
-    link_wake: Vec<Cycle>,
+    link_wake: Sharded<Cycle>,
     /// Drained-set scratch shared by the active phases (sequential).
     ids_scratch: Vec<u32>,
     /// Flits in routers + links, maintained incrementally; the O(1)
@@ -216,6 +228,10 @@ pub struct Network {
     /// `true` = run the dense reference stepper (every phase sweeps
     /// every component, no fast-forward).
     reference_stepper: bool,
+    /// `true` = take the sharded stepper even for a single-shard plan
+    /// (equivalence tests use this to drive the persistent team and
+    /// its barriers at `shards = 1`).
+    force_sharded: bool,
 
     // --- spatial sharding state (DESIGN.md §12) ---
     /// Contiguous node-id partition of the fabric; serial (one shard)
@@ -230,7 +246,7 @@ pub struct Network {
     /// shard's links form one contiguous slice. Identity when serial.
     link_perm: Vec<u32>,
     /// Inverse of `link_perm`: permuted index -> original link index.
-    link_orig: Vec<u32>,
+    link_orig: Arc<Vec<u32>>,
     /// Permuted-index range of shard `s`: `link_bounds[s] ..
     /// link_bounds[s + 1]`.
     link_bounds: Vec<usize>,
@@ -247,6 +263,18 @@ pub struct Network {
     /// Worker-thread override for the sharded stepper (tests force >1
     /// on single-core machines); `None` = available parallelism.
     shard_threads: Option<usize>,
+    /// Persistent worker team for the sharded stepper, spawned lazily
+    /// at the first sharded step and reused for every fan-out
+    /// thereafter (DESIGN.md §12). `None` until then, and reset by
+    /// [`Network::set_shard_threads`]. Shut down (workers joined)
+    /// ahead of the shard state by [`Network`]'s `Drop`.
+    team: Option<cr_sim::pool::Team>,
+    /// `true` once any link has ever been dead during a step. Under a
+    /// fault-detecting protocol with a nonzero detection-miss rate, a
+    /// corrupted flit may have survived its dead-link arrival and
+    /// still be roaming, so the per-cycle parallel-arrivals gate must
+    /// stay conservative forever after (DESIGN.md §12).
+    ever_dead: bool,
 
     // --- live fault churn state (DESIGN.md §13) ---
     /// Scratch for [`cr_faults::FaultModel::apply_churn_due`], reused
@@ -285,6 +313,8 @@ impl Network {
         shards: usize,
     ) -> Self {
         cfg.validate();
+        let topo: Arc<dyn Topology> = Arc::from(topo);
+        let routing: Arc<dyn RoutingFunction> = Arc::from(routing);
         let n = topo.num_nodes();
         let plan = cr_sim::shard::Plan::from_hint(topo.partition_hint(shards), n, shards);
         let node_shard = plan.owner_table();
@@ -343,7 +373,8 @@ impl Network {
                 inj.set_ablations(cfg.ablations);
             }
         }
-        let receivers = (0..n).map(|i| Receiver::new(NodeId::from_index(i))).collect();
+        let receivers: Vec<Receiver> =
+            (0..n).map(|i| Receiver::new(NodeId::from_index(i))).collect();
 
         // Link tables.
         let descs = topo.links();
@@ -432,6 +463,17 @@ impl Network {
             }
         }
 
+        // Per-shard chunk sizes for the owned-state stores: nodes by
+        // the plan's contiguous ranges, links by the permuted
+        // per-shard grouping. Every `LinkState` is identical (empty)
+        // at construction, so chunking the original-order vector by
+        // the permuted group sizes is exact.
+        let node_sizes: Vec<usize> = (0..num_shards).map(|s| plan.range(s).len()).collect();
+        let link_sizes: Vec<usize> = (0..num_shards)
+            .map(|s| link_bounds[s + 1] - link_bounds[s])
+            .collect();
+        let ever_dead = faults.num_dead_links() > 0;
+
         let warmup = Cycle::new(cfg.warmup);
         Network {
             latency: LatencyRecorder::new(warmup),
@@ -441,41 +483,44 @@ impl Network {
             injector_sets: (0..num_shards)
                 .map(|_| ActiveSet::new(n * cfg.inject_channels))
                 .collect(),
-            link_wake: vec![Cycle::ZERO; links.len()],
+            link_wake: Sharded::from_flat(vec![Cycle::ZERO; links.len()], &link_sizes),
             ids_scratch: Vec::new(),
             live_flits: 0,
             undrained_injectors: 0,
             reference_stepper: false,
+            force_sharded: false,
             shard_scratch: (0..num_shards)
                 .map(|_| sharded::ShardScratch::default())
                 .collect(),
             credit_scratch: Vec::new(),
             shard_threads: None,
+            team: None,
+            ever_dead,
             plan,
             node_shard,
             link_perm,
-            link_orig,
+            link_orig: Arc::new(link_orig),
             link_bounds,
             link_shard,
             topo,
             routing,
-            faults,
+            faults: Arc::new(faults),
             timeout,
-            routers,
-            injectors,
-            receivers,
+            routers: Sharded::from_flat(routers, &node_sizes),
+            injectors: Sharded::from_flat(injectors, &node_sizes),
+            receivers: Sharded::from_flat(receivers, &node_sizes),
             sources,
             link_flits: vec![0; links.len()],
-            links,
-            out_link,
-            link_head,
-            link_ids,
+            links: Sharded::from_flat(links, &link_sizes),
+            out_link: Arc::new(out_link),
+            link_head: Arc::new(link_head),
+            link_ids: Arc::new(link_ids),
             link_by_id,
-            in_upstream,
+            in_upstream: Arc::new(in_upstream),
             churn_firings: Vec::new(),
             churn_trackers: Vec::new(),
             churn_undrained: 0,
-            killed: KilledMap::new(),
+            killed: Arc::new(KilledMap::new()),
             registry_lifetime,
             fwd_tokens: Vec::new(),
             bwd_tokens: Vec::new(),
@@ -519,6 +564,30 @@ impl Network {
     /// The effective source timeout in cycles.
     pub fn timeout(&self) -> u64 {
         self.timeout
+    }
+
+    /// Mutable access to the killed-worm registry. The `Arc` is only
+    /// cloned into shard-task contexts that are dropped before any
+    /// serial code runs again, so the uniqueness assert holds and
+    /// `make_mut` never actually copies.
+    pub(crate) fn killed_mut(&mut self) -> &mut KilledMap {
+        debug_assert_eq!(
+            Arc::strong_count(&self.killed),
+            1,
+            "killed registry aliased at mutation time"
+        );
+        Arc::make_mut(&mut self.killed)
+    }
+
+    /// Mutable access to the fault model, same contract as
+    /// [`Network::killed_mut`].
+    pub(crate) fn faults_mut(&mut self) -> &mut FaultModel {
+        debug_assert_eq!(
+            Arc::strong_count(&self.faults),
+            1,
+            "fault model aliased at mutation time"
+        );
+        Arc::make_mut(&mut self.faults)
     }
 
     /// Live event counters.
@@ -621,6 +690,16 @@ impl Network {
         self.reference_stepper
     }
 
+    /// Forces the sharded stepper even when the plan has a single
+    /// shard. Results are identical either way — the sharded stepper
+    /// is byte-equal to the serial one at any shard count, including
+    /// one — so this only changes which machinery runs: equivalence
+    /// tests use it to push `shards = 1` through the persistent team,
+    /// its ownership hand-offs, and its phase barriers.
+    pub fn set_force_sharded(&mut self, on: bool) {
+        self.force_sharded = on;
+    }
+
     /// Number of spatial shards the active stepper runs with (1 =
     /// serial; the dense reference stepper is always serial).
     pub fn num_shards(&self) -> usize {
@@ -634,6 +713,12 @@ impl Network {
     /// cross-thread handoff even on single-core machines; benchmarks
     /// may pin it for stable measurements.
     pub fn set_shard_threads(&mut self, threads: Option<usize>) {
+        if self.shard_threads != threads {
+            // The persistent team is sized from this setting; drop it
+            // (joining its workers) so the next sharded step respawns
+            // at the new width.
+            self.team = None;
+        }
         self.shard_threads = threads;
     }
 
@@ -810,6 +895,9 @@ impl Network {
         // same dead-link set for the whole cycle, which is what keeps
         // them byte-identical under churn (DESIGN.md §13).
         self.apply_churn(now);
+        if !self.ever_dead && self.faults.num_dead_links() > 0 {
+            self.ever_dead = true;
+        }
 
         if self.reference_stepper {
             self.phase_arrivals_dense(now);
@@ -820,7 +908,7 @@ impl Network {
             self.phase_traffic(now);
             self.phase_injection_dense(now);
             self.phase_route_and_traverse_dense(now);
-        } else if self.plan.is_serial() {
+        } else if self.plan.is_serial() && !self.force_sharded {
             self.phase_arrivals_active(now);
             self.phase_tokens(now);
             if let Some(threshold) = self.cfg.path_wide_threshold {
@@ -997,7 +1085,8 @@ impl Network {
         }
         let mut firings = std::mem::take(&mut self.churn_firings);
         firings.clear();
-        self.faults.apply_churn_due(&*self.topo, now, &mut firings);
+        let topo = Arc::clone(&self.topo);
+        self.faults_mut().apply_churn_due(&*topo, now, &mut firings);
         let num_vcs = self.routing.num_vcs();
         for f in &firings {
             let mut affected: Vec<MessageId> = Vec::new();
@@ -1659,7 +1748,7 @@ impl Network {
     /// relies on exactly that.
     fn prune_registries(&mut self, now: Cycle) {
         let lifetime = self.registry_lifetime;
-        self.killed
+        self.killed_mut()
             .retain(|t| now.saturating_since(t) < lifetime);
         let horizon = Cycle::new(now.as_u64().saturating_sub(4 * lifetime));
         for rx in &mut self.receivers {
@@ -1784,7 +1873,7 @@ impl Network {
         cause: KillCause,
     ) {
         crate::network::debug_worm(worm, || format!("{now} KILL {worm} cause {cause:?} at n{node} {port} {vc}"));
-        self.killed.insert(worm, now);
+        self.killed_mut().insert(worm, now);
         if cause == KillCause::Fault {
             self.counters.kills_fault += 1;
         }
@@ -1923,6 +2012,17 @@ impl Network {
         Some(self.link_head[li])
     }
 
+}
+
+impl Drop for Network {
+    fn drop(&mut self) {
+        // Shut the worker team down (its threads joined) before any
+        // shard state is freed. The tasks own their chunks outright so
+        // no worker can reference freed state even without this, but
+        // the explicit order keeps teardown deterministic and lets the
+        // no-thread-leak regression test assert it.
+        self.team = None;
+    }
 }
 
 /// Env-gated per-worm teardown tracing: set `CR_DEBUG_W=m<id>` to log

@@ -1,6 +1,6 @@
 //! Spatially sharded stepper: the active-set cycle phases fanned out
-//! over contiguous node-id shards on the `cr_sim::pool` scoped-thread
-//! pool, byte-identical to the serial stepper (DESIGN.md §12).
+//! over contiguous node-id shards on a persistent [`pool::Team`],
+//! byte-identical to the serial stepper (DESIGN.md §12).
 //!
 //! # How identity is preserved
 //!
@@ -9,7 +9,7 @@
 //! plus every link whose *destination* lies in the range (arrivals
 //! mutate the destination router, so links live with their heads; link
 //! state is stored permuted so each shard's links are one contiguous
-//! slice). Four phases run as one pool task per shard — arrivals,
+//! chunk). Four phases run as one team task per shard — arrivals,
 //! injection, routing + orphan-credit collection, and switch traversal
 //! — and everything a task would have to touch outside its shard is
 //! buffered in its [`ShardScratch`] instead: upstream credit returns,
@@ -22,6 +22,19 @@
 //! path-wide detection, traffic, bookkeeping) run unchanged on the
 //! orchestrator thread.
 //!
+//! # Ownership across the fan-out
+//!
+//! The team's workers are long-lived, so tasks must be `'static`: no
+//! borrows of the network cross the dispatch boundary. Instead each
+//! shard's mutable state is stored in per-shard chunks
+//! ([`cr_sim::shard::Sharded`]) that [`Network::take_shard`] moves
+//! into the task as a [`ShardWork`] value and the task returns when
+//! done; the read-only tables ride along as `Arc` clones inside one
+//! [`SharedCtx`] per fan-out. Every `SharedCtx` is dropped before the
+//! barrier code runs, so the serially-mutated registries (`killed`,
+//! `faults`) are uniquely owned again whenever `Arc::make_mut` touches
+//! them.
+//!
 //! Two structural properties make the fan-out sound:
 //!
 //! * **Credit-return latency.** The traverse sub-stage's upstream
@@ -30,11 +43,13 @@
 //!   same-cycle decision can observe a credit freed by another router
 //!   this cycle — and therefore no cross-shard read order exists to
 //!   preserve.
-//! * **Fault-free arrivals commute.** The parallel arrivals path is
-//!   only taken when no arrival can draw the fault RNG or kill a worm
-//!   (no transient corruption, and dead links only matter to
-//!   fault-detecting protocols); otherwise the phase falls back to the
-//!   serial global-order scan for the whole cycle.
+//! * **Quiet-cycle arrivals commute.** The parallel arrivals path is
+//!   taken exactly when no arrival this cycle can draw the fault RNG
+//!   or kill a worm — checked per cycle by
+//!   [`Network::arrivals_parallel_ok`] (no transient corruption, and
+//!   under fault-detecting protocols no dead link with a due flit and
+//!   no possibly-roaming corrupted flit); otherwise the phase falls
+//!   back to the serial global-order scan for the whole cycle.
 
 use super::{LinkState, Network, Token, SOURCE_GONE};
 use crate::injector::Injector;
@@ -50,6 +65,7 @@ use cr_sim::sched::ActiveSet;
 use cr_sim::trace::{Event, KillCause};
 use cr_sim::{Cycle, NodeId, PortId, VcId};
 use cr_topology::Topology;
+use std::sync::Arc;
 
 /// Per-shard mutation buffers, drained at each phase barrier in shard
 /// order. One per shard, persistent across cycles so the Vec
@@ -98,17 +114,20 @@ pub(crate) struct ShardScratch {
     progress: bool,
 }
 
-/// Splits `items` into consecutive mutable chunks of the given sizes
-/// (one per shard). Sizes must sum to the slice length.
-fn split_mut<'a, T>(mut items: &'a mut [T], sizes: impl Iterator<Item = usize>) -> Vec<&'a mut [T]> {
-    let mut out = Vec::new();
-    for len in sizes {
-        let (head, tail) = items.split_at_mut(len);
-        out.push(head);
-        items = tail;
-    }
-    debug_assert!(items.is_empty(), "split sizes must cover the slice");
-    out
+/// One shard's owned mutable state, moved into a team task for the
+/// duration of a fan-out and handed back as the task's return value.
+/// Taking all of it for every fan-out is O(1) per field (`mem::take`
+/// of the chunk vectors) and sidesteps per-phase borrow plumbing.
+pub(crate) struct ShardWork {
+    routers: Vec<Router>,
+    links: Vec<LinkState>,
+    wake: Vec<Cycle>,
+    injectors: Vec<Vec<Injector>>,
+    receivers: Vec<Receiver>,
+    router_set: ActiveSet,
+    link_set: ActiveSet,
+    injector_set: ActiveSet,
+    scratch: ShardScratch,
 }
 
 /// Applies a signed delta to an unsigned incremental counter.
@@ -118,32 +137,29 @@ fn apply_delta(value: &mut usize, delta: i64) {
     *value = next.max(0) as usize;
 }
 
-/// Read-only state shared by every shard task of one phase.
-struct Shared<'a> {
+/// Read-only context shared by every shard task of one fan-out:
+/// `Arc` clones of the immutable tables (plus the registries that are
+/// only mutated serially, between fan-outs). Dropped before the
+/// barrier so the registries are uniquely owned again.
+struct SharedCtx {
     now: Cycle,
-    link_orig: &'a [u32],
-    link_head: &'a [(usize, PortId)],
-    link_ids: &'a [cr_sim::LinkId],
-    out_link: &'a [Vec<Option<usize>>],
-    in_upstream: &'a [Vec<Option<(usize, PortId)>>],
-    killed: &'a KilledMap,
-    faults: &'a FaultModel,
-    routing: &'a dyn RoutingFunction,
-    topo: &'a dyn Topology,
+    link_orig: Arc<Vec<u32>>,
+    link_head: Arc<Vec<(usize, PortId)>>,
+    link_ids: Arc<Vec<cr_sim::LinkId>>,
+    out_link: Arc<Vec<Vec<Option<usize>>>>,
+    in_upstream: Arc<Vec<Vec<Option<(usize, PortId)>>>>,
+    killed: Arc<KilledMap>,
+    faults: Arc<FaultModel>,
+    routing: Arc<dyn RoutingFunction>,
+    topo: Arc<dyn Topology>,
     trace_on: bool,
     chans: usize,
 }
 
-impl<'a> Shared<'a> {
+impl SharedCtx {
     /// Buffers a credit for the router feeding `(node, in_port, vc)`
     /// (the shard-safe analogue of `Network::credit_into`).
-    fn buffer_credit(
-        &self,
-        scratch: &mut ShardScratch,
-        node: usize,
-        in_port: PortId,
-        vc: VcId,
-    ) {
+    fn buffer_credit(&self, scratch: &mut ShardScratch, node: usize, in_port: PortId, vc: VcId) {
         if let Some((up_node, up_out)) = self.in_upstream[node][in_port.index()] {
             scratch.credits.push((crate::network::idx32(up_node), up_out, vc));
         }
@@ -153,13 +169,95 @@ impl<'a> Shared<'a> {
 impl Network {
     /// Worker threads for the phase fan-outs: the explicit override if
     /// set, else the machine's available parallelism (always capped at
-    /// the shard count by the callers).
+    /// the shard count by the team sizing).
     fn shard_workers(&self) -> usize {
         self.shard_threads.unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
         })
+    }
+
+    /// The fan-out context for the current cycle: `Arc` clones of the
+    /// shared tables. Rebuilt per fan-out (cheap) because `killed`
+    /// changes between the injection and route fan-outs.
+    fn shared_ctx(&self, now: Cycle) -> Arc<SharedCtx> {
+        Arc::new(SharedCtx {
+            now,
+            link_orig: Arc::clone(&self.link_orig),
+            link_head: Arc::clone(&self.link_head),
+            link_ids: Arc::clone(&self.link_ids),
+            out_link: Arc::clone(&self.out_link),
+            in_upstream: Arc::clone(&self.in_upstream),
+            killed: Arc::clone(&self.killed),
+            faults: Arc::clone(&self.faults),
+            routing: Arc::clone(&self.routing),
+            topo: Arc::clone(&self.topo),
+            trace_on: self.trace.enabled(),
+            chans: self.cfg.inject_channels,
+        })
+    }
+
+    /// Moves shard `s`'s owned state out of the network (to hand to a
+    /// team task). Every take is O(1); the placeholder left behind is
+    /// never observed because the orchestrator blocks on the fan-out.
+    fn take_shard(&mut self, s: usize) -> ShardWork {
+        ShardWork {
+            routers: self.routers.take_chunk(s),
+            links: self.links.take_chunk(s),
+            wake: self.link_wake.take_chunk(s),
+            injectors: self.injectors.take_chunk(s),
+            receivers: self.receivers.take_chunk(s),
+            router_set: std::mem::replace(&mut self.router_sets[s], ActiveSet::new(0)),
+            link_set: std::mem::replace(&mut self.link_sets[s], ActiveSet::new(0)),
+            injector_set: std::mem::replace(&mut self.injector_sets[s], ActiveSet::new(0)),
+            scratch: std::mem::take(&mut self.shard_scratch[s]),
+        }
+    }
+
+    /// Returns shard `s`'s state after a fan-out.
+    fn put_shard(&mut self, s: usize, w: ShardWork) {
+        self.routers.put_chunk(s, w.routers);
+        self.links.put_chunk(s, w.links);
+        self.link_wake.put_chunk(s, w.wake);
+        self.injectors.put_chunk(s, w.injectors);
+        self.receivers.put_chunk(s, w.receivers);
+        self.router_sets[s] = w.router_set;
+        self.link_sets[s] = w.link_set;
+        self.injector_sets[s] = w.injector_set;
+        self.shard_scratch[s] = w.scratch;
+    }
+
+    /// Runs one fan-out on the persistent team (spawned lazily on
+    /// first use): moves every shard's state into a task, dispatches
+    /// the batch, and moves the results back. `task` must be the pure
+    /// per-shard phase body — it sees only its `ShardWork` and the
+    /// shared context.
+    fn team_fan_out(
+        &mut self,
+        now: Cycle,
+        task: fn(&SharedCtx, &mut ShardWork, usize, usize),
+    ) {
+        let num_shards = self.plan.num_shards();
+        let ctx = self.shared_ctx(now);
+        let mut tasks = Vec::with_capacity(num_shards);
+        for s in 0..num_shards {
+            let ctx = Arc::clone(&ctx);
+            let mut work = self.take_shard(s);
+            let node_lo = self.plan.range(s).start;
+            let links_lo = self.link_bounds[s];
+            tasks.push(move || {
+                task(&ctx, &mut work, node_lo, links_lo);
+                work
+            });
+        }
+        drop(ctx);
+        let workers = self.shard_workers().min(num_shards);
+        let team = self.team.get_or_insert_with(|| pool::Team::new(workers));
+        let results = team.run(tasks);
+        for (s, work) in results.into_iter().enumerate() {
+            self.put_shard(s, work);
+        }
     }
 
     /// One cycle of the sharded stepper: the serial phase list with
@@ -183,88 +281,62 @@ impl Network {
     // Arrivals
     // --------------------------------------------------------------
 
+    /// Whether this cycle's arrivals can run as parallel shard tasks:
+    /// true exactly when no arrival can draw the fault RNG or kill a
+    /// worm *this cycle*, so per-link work is confined to the link and
+    /// its (shard-owned) destination router.
+    ///
+    /// Evaluated every cycle against the live fault model — churn and
+    /// the check API flip it mid-run — cheap in the common cases (a
+    /// couple of field reads; the per-dead-link scan only runs for
+    /// detecting protocols with faults present):
+    ///
+    /// * Transient corruption draws RNG on every arrival: serial.
+    /// * Non-detecting protocols never detect, kill, or draw the
+    ///   detection RNG — corruption itself is a deterministic flag
+    ///   flip on the shard-owned flit: parallel.
+    /// * Detecting protocols with no dead link now and none ever:
+    ///   nothing is corrupted, detection never fires: parallel.
+    /// * A nonzero detection-miss rate may have let a corrupted flit
+    ///   survive a past dead-link arrival and roam (`ever_dead`), and
+    ///   its eventual arrival anywhere draws the detection RNG:
+    ///   serial from the first kill onward.
+    /// * Miss rate zero: corrupted flits never survive their
+    ///   corrupting arrival, so only a *currently* dead link with a
+    ///   flit due this cycle (`wake <= now`; wakes are never
+    ///   stale-late) can fire detection — detection kills walk
+    ///   cross-shard teardown chains, so such cycles run serial. FCR
+    ///   storms therefore fan out on every cycle where no dead link
+    ///   has a due flit, which is most of them.
+    fn arrivals_parallel_ok(&self, now: Cycle) -> bool {
+        if self.faults.transient_rate() != 0.0 {
+            return false;
+        }
+        if !self.cfg.protocol.detects_faults() {
+            return true;
+        }
+        if self.faults.num_dead_links() == 0 && !self.ever_dead {
+            return true;
+        }
+        if self.faults.detection_miss_rate() != 0.0 {
+            return false;
+        }
+        for id in self.faults.dead_links() {
+            let li = self.link_by_id[id.index()] as usize;
+            let pi = self.link_perm[li] as usize;
+            if self.links[pi].occupied > 0 && self.link_wake[pi] <= now {
+                return false;
+            }
+        }
+        true
+    }
+
     fn sharded_arrivals(&mut self, now: Cycle) {
-        // The parallel path requires that no arrival can draw the
-        // fault RNG (transient corruption) or kill a worm (corruption
-        // detection): then per-link arrival work is confined to the
-        // link and its destination router — both shard-owned — and
-        // the only cross-shard effect (upstream credits for
-        // killed-worm drops) commutes and is buffered to the barrier.
-        //
-        // Deliberately re-evaluated every cycle against the *live*
-        // fault model, not cached at construction: churn flips
-        // `num_dead_links` mid-run, and a cached answer would let the
-        // parallel path race corruption kills after a mid-run
-        // `kill_link` (or keep the slow serial path after the last
-        // `revive_link`).
-        let parallel_ok = self.faults.transient_rate() == 0.0
-            && (self.faults.num_dead_links() == 0 || !self.cfg.protocol.detects_faults());
-        if !parallel_ok {
+        if !self.arrivals_parallel_ok(now) {
             self.phase_arrivals_active(now);
             return;
         }
-        let workers = self.shard_workers().min(self.plan.num_shards());
-        let Network {
-            routers,
-            links,
-            link_wake,
-            link_sets,
-            router_sets,
-            shard_scratch,
-            link_bounds,
-            plan,
-            link_orig,
-            link_head,
-            link_ids,
-            out_link,
-            in_upstream,
-            killed,
-            faults,
-            routing,
-            topo,
-            trace,
-            cfg,
-            ..
-        } = self;
-        let shared = &Shared {
-            now,
-            link_orig: link_orig.as_slice(),
-            link_head: link_head.as_slice(),
-            link_ids: link_ids.as_slice(),
-            out_link: out_link.as_slice(),
-            in_upstream: in_upstream.as_slice(),
-            killed: &*killed,
-            faults: &*faults,
-            routing: &**routing,
-            topo: &**topo,
-            trace_on: trace.enabled(),
-            chans: cfg.inject_channels,
-        };
-        let node_sizes = || plan.bounds().windows(2).map(|w| (w[1] - w[0]) as usize);
-        let link_sizes = || link_bounds.windows(2).map(|w| w[1] - w[0]);
-        let routers_split = split_mut(routers, node_sizes());
-        let links_split = split_mut(links, link_sizes());
-        let wake_split = split_mut(link_wake, link_sizes());
-        let mut tasks = Vec::with_capacity(plan.num_shards());
-        for (s, ((((routers_s, links_s), wake_s), link_set), (router_set, scratch))) in
-            routers_split
-                .into_iter()
-                .zip(links_split)
-                .zip(wake_split)
-                .zip(link_sets.iter_mut())
-                .zip(router_sets.iter_mut().zip(shard_scratch.iter_mut()))
-                .enumerate()
-        {
-            let node_lo = plan.bounds()[s] as usize;
-            let links_lo = link_bounds[s];
-            tasks.push(move || {
-                arrivals_task(
-                    shared, routers_s, links_s, wake_s, link_set, router_set, scratch, node_lo,
-                    links_lo,
-                );
-            });
-        }
-        pool::run(workers, tasks);
+        self.team_fan_out(now, arrivals_task);
         for s in 0..self.plan.num_shards() {
             let mut scratch = std::mem::take(&mut self.shard_scratch[s]);
             self.apply_shard_credits(&mut scratch);
@@ -278,82 +350,19 @@ impl Network {
     // --------------------------------------------------------------
 
     fn sharded_injection(&mut self, now: Cycle) {
-        let workers = self.shard_workers().min(self.plan.num_shards());
-        let Network {
-            routers,
-            injectors,
-            receivers,
-            injector_sets,
-            router_sets,
-            shard_scratch,
-            plan,
-            link_orig,
-            link_head,
-            link_ids,
-            out_link,
-            in_upstream,
-            killed,
-            faults,
-            routing,
-            topo,
-            trace,
-            cfg,
-            ..
-        } = self;
-        let shared = &Shared {
-            now,
-            link_orig: link_orig.as_slice(),
-            link_head: link_head.as_slice(),
-            link_ids: link_ids.as_slice(),
-            out_link: out_link.as_slice(),
-            in_upstream: in_upstream.as_slice(),
-            killed: &*killed,
-            faults: &*faults,
-            routing: &**routing,
-            topo: &**topo,
-            trace_on: trace.enabled(),
-            chans: cfg.inject_channels,
-        };
-        let node_sizes = || plan.bounds().windows(2).map(|w| (w[1] - w[0]) as usize);
-        let routers_split = split_mut(routers, node_sizes());
-        let injectors_split = split_mut(injectors, node_sizes());
-        let receivers_split = split_mut(receivers, node_sizes());
-        let mut tasks = Vec::with_capacity(plan.num_shards());
-        for (s, ((((routers_s, injectors_s), receivers_s), injector_set), (router_set, scratch))) in
-            routers_split
-                .into_iter()
-                .zip(injectors_split)
-                .zip(receivers_split)
-                .zip(injector_sets.iter_mut())
-                .zip(router_sets.iter_mut().zip(shard_scratch.iter_mut()))
-                .enumerate()
-        {
-            let node_lo = plan.bounds()[s] as usize;
-            tasks.push(move || {
-                injection_task(
-                    shared,
-                    routers_s,
-                    injectors_s,
-                    receivers_s,
-                    injector_set,
-                    router_set,
-                    scratch,
-                    node_lo,
-                );
-            });
-        }
-        pool::run(workers, tasks);
+        self.team_fan_out(now, injection_task);
         for s in 0..self.plan.num_shards() {
             let mut scratch = std::mem::take(&mut self.shard_scratch[s]);
             // Serial order per injector: Kill event (buffered in
             // `events`), registry insert, forward token push. Nothing
             // in this phase reads the registry or the token lists, so
             // grouping the applies per kind is state-identical.
-            for &worm in &scratch.kills {
+            for i in 0..scratch.kills.len() {
+                let worm = scratch.kills[i];
                 super::debug_worm(worm, || {
                     format!("{now} KILL {worm} cause SourceTimeout (sharded)")
                 });
-                self.killed.insert(worm, now);
+                self.killed_mut().insert(worm, now);
             }
             scratch.kills.clear();
             self.fwd_tokens.append(&mut scratch.tokens);
@@ -367,57 +376,10 @@ impl Network {
     // --------------------------------------------------------------
 
     fn sharded_route_and_traverse(&mut self, now: Cycle) {
-        let workers = self.shard_workers().min(self.plan.num_shards());
         // Fan-out 1: routing/VC-allocation, then orphan-credit
         // collection, per shard (the serial sub-stage barrier between
         // the two only orders router-local state).
-        {
-            let Network {
-                routers,
-                router_sets,
-                shard_scratch,
-                plan,
-                link_orig,
-                link_head,
-                link_ids,
-                out_link,
-                in_upstream,
-                killed,
-                faults,
-                routing,
-                topo,
-                trace,
-                cfg,
-                ..
-            } = &mut *self;
-            let shared = &Shared {
-                now,
-                link_orig: link_orig.as_slice(),
-                link_head: link_head.as_slice(),
-                link_ids: link_ids.as_slice(),
-                out_link: out_link.as_slice(),
-                in_upstream: in_upstream.as_slice(),
-                killed: &*killed,
-                faults: &*faults,
-                routing: &**routing,
-                topo: &**topo,
-                trace_on: trace.enabled(),
-                chans: cfg.inject_channels,
-            };
-            let node_sizes = || plan.bounds().windows(2).map(|w| (w[1] - w[0]) as usize);
-            let routers_split = split_mut(routers, node_sizes());
-            let mut tasks = Vec::with_capacity(plan.num_shards());
-            for (s, ((routers_s, router_set), scratch)) in routers_split
-                .into_iter()
-                .zip(router_sets.iter_mut())
-                .zip(shard_scratch.iter_mut())
-                .enumerate()
-            {
-                let node_lo = plan.bounds()[s] as usize;
-                tasks.push(move || route_task(shared, routers_s, router_set, scratch, node_lo));
-            }
-            pool::run(workers, tasks);
-        }
+        self.team_fan_out(now, route_task);
         // Barrier: orphan credits must be visible before any traversal
         // reads its credit counters (the serial sub-stage order).
         for s in 0..self.plan.num_shards() {
@@ -428,58 +390,7 @@ impl Network {
             self.shard_scratch[s] = scratch;
         }
         // Fan-out 2: switch traversal over the same drained id lists.
-        {
-            let Network {
-                routers,
-                receivers,
-                router_sets,
-                shard_scratch,
-                plan,
-                link_orig,
-                link_head,
-                link_ids,
-                out_link,
-                in_upstream,
-                killed,
-                faults,
-                routing,
-                topo,
-                trace,
-                cfg,
-                ..
-            } = &mut *self;
-            let shared = &Shared {
-                now,
-                link_orig: link_orig.as_slice(),
-                link_head: link_head.as_slice(),
-                link_ids: link_ids.as_slice(),
-                out_link: out_link.as_slice(),
-                in_upstream: in_upstream.as_slice(),
-                killed: &*killed,
-                faults: &*faults,
-                routing: &**routing,
-                topo: &**topo,
-                trace_on: trace.enabled(),
-                chans: cfg.inject_channels,
-            };
-            let node_sizes = || plan.bounds().windows(2).map(|w| (w[1] - w[0]) as usize);
-            let routers_split = split_mut(routers, node_sizes());
-            let receivers_split = split_mut(receivers, node_sizes());
-            let mut tasks = Vec::with_capacity(plan.num_shards());
-            for (s, (((routers_s, receivers_s), router_set), scratch)) in routers_split
-                .into_iter()
-                .zip(receivers_split)
-                .zip(router_sets.iter_mut())
-                .zip(shard_scratch.iter_mut())
-                .enumerate()
-            {
-                let node_lo = plan.bounds()[s] as usize;
-                tasks.push(move || {
-                    traverse_task(shared, routers_s, receivers_s, router_set, scratch, node_lo)
-                });
-            }
-            pool::run(workers, tasks);
-        }
+        self.team_fan_out(now, traverse_task);
         // Traverse barrier, in shard order: link pushes (the
         // cross-shard flit handoff, applied in the exact serial
         // order: routers ascending, traversals in emission order),
@@ -581,130 +492,112 @@ impl Network {
 }
 
 /// Arrivals for one shard: the serial `scan_link_arrivals` specialized
-/// to the fault-free/non-detecting gate (no RNG draw, no kill, no
-/// trace event), walking the shard's links ascending.
-#[allow(clippy::too_many_arguments)]
-fn arrivals_task(
-    shared: &Shared<'_>,
-    routers_s: &mut [Router],
-    links_s: &mut [LinkState],
-    wake_s: &mut [Cycle],
-    link_set: &mut ActiveSet,
-    router_set: &mut ActiveSet,
-    scratch: &mut ShardScratch,
-    node_lo: usize,
-    links_lo: usize,
-) {
-    let now = shared.now;
-    let mut ids = std::mem::take(&mut scratch.ids);
+/// to the quiet-cycle gate (no RNG draw, no kill, no trace event),
+/// walking the shard's links ascending.
+fn arrivals_task(ctx: &SharedCtx, work: &mut ShardWork, node_lo: usize, links_lo: usize) {
+    let now = ctx.now;
+    let mut ids = std::mem::take(&mut work.scratch.ids);
     ids.clear();
-    link_set.drain_sorted_into(&mut ids);
+    work.link_set.drain_sorted_into(&mut ids);
     for &pi32 in &ids {
         let pi = pi32 as usize;
         let local = pi - links_lo;
-        if links_s[local].occupied == 0 {
+        if work.links[local].occupied == 0 {
             continue; // purged empty since it was armed
         }
-        if wake_s[local] > now {
-            link_set.insert(pi32);
+        if work.wake[local] > now {
+            work.link_set.insert(pi32);
             continue;
         }
-        let li = shared.link_orig[pi] as usize;
-        let (dst_node, dst_port) = shared.link_head[li];
+        let li = ctx.link_orig[pi] as usize;
+        let (dst_node, dst_port) = ctx.link_head[li];
         let dst_local = dst_node - node_lo;
-        let link_dead = shared.faults.is_dead(shared.link_ids[li]);
-        for v in 0..links_s[local].lanes.len() {
+        let link_dead = ctx.faults.is_dead(ctx.link_ids[li]);
+        for v in 0..work.links[local].lanes.len() {
             let vc = VcId::from_index(v);
             loop {
-                let killed = match links_s[local].lanes[v].front() {
+                let killed = match work.links[local].lanes[v].front() {
                     Some(&(arrive, ref flit)) if arrive <= now => {
-                        let killed = shared.killed.contains(flit.worm);
-                        if !killed && routers_s[dst_local].vc_is_full(dst_port, vc) {
+                        let killed = ctx.killed.contains(flit.worm);
+                        if !killed && work.routers[dst_local].vc_is_full(dst_port, vc) {
                             break;
                         }
                         killed
                     }
                     _ => break,
                 };
-                let Some((_, mut flit)) = links_s[local].lanes[v].pop_front() else {
+                let Some((_, mut flit)) = work.links[local].lanes[v].pop_front() else {
                     break; // unreachable: front() just succeeded
                 };
-                links_s[local].occupied -= 1;
+                work.links[local].occupied -= 1;
                 flit.hops = flit.hops.saturating_add(1);
                 if link_dead {
-                    // Dead link, non-detecting protocol (the gate):
-                    // the flit is corrupted and carried on — the
-                    // integrity-violation baseline.
+                    // Dead link on a parallel cycle: the gate proves
+                    // the protocol is non-detecting (a detecting
+                    // protocol with a due flit on a dead link forces
+                    // serial), so the flit is corrupted and carried on
+                    // — the integrity-violation baseline.
                     if !flit.corrupted {
-                        scratch.counters.flits_corrupted += 1;
+                        work.scratch.counters.flits_corrupted += 1;
                     }
                     flit.corrupted = true;
                 }
                 if killed {
-                    scratch.counters.flits_dropped_killed += 1;
-                    scratch.live_delta -= 1;
-                    shared.buffer_credit(scratch, dst_node, dst_port, vc);
+                    work.scratch.counters.flits_dropped_killed += 1;
+                    work.scratch.live_delta -= 1;
+                    ctx.buffer_credit(&mut work.scratch, dst_node, dst_port, vc);
                     continue;
                 }
-                routers_s[dst_local].accept(now, dst_port, vc, flit);
-                router_set.insert(crate::network::idx32(dst_node));
-                scratch.progress = true;
+                work.routers[dst_local].accept(now, dst_port, vc, flit);
+                work.router_set.insert(crate::network::idx32(dst_node));
+                work.scratch.progress = true;
             }
         }
-        if links_s[local].occupied > 0 {
-            if let Some(wake) = links_s[local]
+        if work.links[local].occupied > 0 {
+            if let Some(wake) = work.links[local]
                 .lanes
                 .iter()
                 .filter_map(|lane| lane.front().map(|&(arrive, _)| arrive))
                 .min()
             {
-                wake_s[local] = wake;
+                work.wake[local] = wake;
             }
-            link_set.insert(pi32);
+            work.link_set.insert(pi32);
         }
     }
-    scratch.ids = ids;
+    work.scratch.ids = ids;
 }
 
 /// Injection for one shard: the serial `step_injector_one` with the
 /// source-timeout kill path inlined (a source kill only touches the
 /// worm's own node — flush at the inject port releases no upstream
 /// credit — plus the buffered registry insert and forward token).
-fn injection_task(
-    shared: &Shared<'_>,
-    routers_s: &mut [Router],
-    injectors_s: &mut [Vec<Injector>],
-    receivers_s: &mut [Receiver],
-    injector_set: &mut ActiveSet,
-    router_set: &mut ActiveSet,
-    scratch: &mut ShardScratch,
-    node_lo: usize,
-) {
-    let now = shared.now;
-    let chans = shared.chans;
-    let mut ids = std::mem::take(&mut scratch.ids);
+fn injection_task(ctx: &SharedCtx, work: &mut ShardWork, node_lo: usize, _links_lo: usize) {
+    let now = ctx.now;
+    let chans = ctx.chans;
+    let mut ids = std::mem::take(&mut work.scratch.ids);
     ids.clear();
-    injector_set.drain_sorted_into(&mut ids);
+    work.injector_set.drain_sorted_into(&mut ids);
     for &id in &ids {
         let (n, c) = (id as usize / chans, id as usize % chans);
         let local = n - node_lo;
-        let out = injectors_s[local][c].step(now, &mut routers_s[local]);
+        let out = work.injectors[local][c].step(now, &mut work.routers[local]);
         if out.injected_flit {
-            scratch.progress = true;
-            scratch.live_delta += 1;
-            router_set.insert(crate::network::idx32(n));
+            work.scratch.progress = true;
+            work.scratch.live_delta += 1;
+            work.router_set.insert(crate::network::idx32(n));
             if out.injected_pad {
-                scratch.counters.pad_flits_injected += 1;
+                work.scratch.counters.pad_flits_injected += 1;
             } else {
-                scratch.counters.payload_flits_injected += 1;
+                work.scratch.counters.payload_flits_injected += 1;
             }
         }
         if out.restarted {
-            scratch.counters.retransmissions += 1;
+            work.scratch.counters.retransmissions += 1;
         }
-        if shared.trace_on {
+        if ctx.trace_on {
             if let Some((worm, dst)) = out.started {
-                scratch.events.push(Event::Inject {
+                work.scratch.events.push(Event::Inject {
                     at: now,
                     src: NodeId::from_index(n),
                     dst,
@@ -713,7 +606,7 @@ fn injection_task(
                 });
             }
             if let Some(worm) = out.committed {
-                scratch.events.push(Event::Commit {
+                work.scratch.events.push(Event::Commit {
                     at: now,
                     src: NodeId::from_index(n),
                     message: worm.message,
@@ -722,10 +615,10 @@ fn injection_task(
             }
         }
         if let Some(worm) = out.kill {
-            scratch.counters.kills_source_timeout += 1;
-            scratch.kills.push(worm);
-            if shared.trace_on {
-                scratch.events.push(Event::Kill {
+            work.scratch.counters.kills_source_timeout += 1;
+            work.scratch.kills.push(worm);
+            if ctx.trace_on {
+                work.scratch.events.push(Event::Kill {
                     at: now,
                     node: NodeId::from_index(n),
                     message: worm.message,
@@ -735,15 +628,15 @@ fn injection_task(
             }
             // `flush_and_credit` at an inject port: no upstream
             // credits, no feeding link to purge.
-            let port = routers_s[local].inject_port(c);
-            let res = routers_s[local].flush_worm(port, VcId::new(0), worm);
-            scratch.live_delta -= res.flushed as i64;
-            debug_assert_eq!(routers_s[local].port_kind(port), PortKind::Inject);
+            let port = work.routers[local].inject_port(c);
+            let res = work.routers[local].flush_worm(port, VcId::new(0), worm);
+            work.scratch.live_delta -= res.flushed as i64;
+            debug_assert_eq!(work.routers[local].port_kind(port), PortKind::Inject);
             match res.released {
                 Some(RouteTarget::Link { port: op, vc: ov }) => {
-                    if let Some(li) = shared.out_link[n][op.index()] {
-                        let (next_node, next_port) = shared.link_head[li];
-                        scratch.tokens.push(Token {
+                    if let Some(li) = ctx.out_link[n][op.index()] {
+                        let (next_node, next_port) = ctx.link_head[li];
+                        work.scratch.tokens.push(Token {
                             worm,
                             node: next_node,
                             port: next_port,
@@ -751,21 +644,21 @@ fn injection_task(
                         });
                     }
                 }
-                Some(RouteTarget::Eject { .. }) => receivers_s[local].discard(worm),
+                Some(RouteTarget::Eject { .. }) => work.receivers[local].discard(worm),
                 None => {}
             }
             // `injector_on_killed` with the undrained count buffered.
-            let was_drained = injectors_s[local][c].is_drained();
-            let retx = injectors_s[local][c].on_killed(now, worm);
-            match (was_drained, injectors_s[local][c].is_drained()) {
-                (true, false) => scratch.undrained_delta += 1,
-                (false, true) => scratch.undrained_delta -= 1,
+            let was_drained = work.injectors[local][c].is_drained();
+            let retx = work.injectors[local][c].on_killed(now, worm);
+            match (was_drained, work.injectors[local][c].is_drained()) {
+                (true, false) => work.scratch.undrained_delta += 1,
+                (false, true) => work.scratch.undrained_delta -= 1,
                 _ => {}
             }
-            injector_set.insert(id);
-            if shared.trace_on {
+            work.injector_set.insert(id);
+            if ctx.trace_on {
                 if let Some((attempt, resume_at)) = retx {
-                    scratch.events.push(Event::RetransmitScheduled {
+                    work.scratch.events.push(Event::RetransmitScheduled {
                         at: now,
                         message: worm.message,
                         attempt,
@@ -774,42 +667,38 @@ fn injection_task(
                 }
             }
         }
-        if injectors_s[local][c].has_step_work() {
-            injector_set.insert(id);
+        if work.injectors[local][c].has_step_work() {
+            work.injector_set.insert(id);
         }
     }
-    scratch.ids = ids;
+    work.scratch.ids = ids;
 }
 
 /// Routing/VC-allocation plus orphan-credit collection for one shard.
 /// The drained router ids stay in `scratch.ids` for the traverse
 /// fan-out (the serial phase drains the set once for all four
 /// sub-stages).
-fn route_task(
-    shared: &Shared<'_>,
-    routers_s: &mut [Router],
-    router_set: &mut ActiveSet,
-    scratch: &mut ShardScratch,
-    node_lo: usize,
-) {
-    let now = shared.now;
-    let mut ids = std::mem::take(&mut scratch.ids);
+fn route_task(ctx: &SharedCtx, work: &mut ShardWork, node_lo: usize, _links_lo: usize) {
+    let now = ctx.now;
+    let mut ids = std::mem::take(&mut work.scratch.ids);
     ids.clear();
-    router_set.drain_sorted_into(&mut ids);
-    let is_killed = |w: WormId| shared.killed.contains(w);
+    work.router_set.drain_sorted_into(&mut ids);
+    let killed = &ctx.killed;
+    let is_killed = |w: WormId| killed.contains(w);
     for &n in &ids {
         let local = n as usize - node_lo;
-        let orphans = routers_s[local].route_and_allocate(now, shared.routing, shared.topo, &is_killed);
-        scratch.live_delta -= orphans as i64;
+        let orphans =
+            work.routers[local].route_and_allocate(now, &*ctx.routing, &*ctx.topo, &is_killed);
+        work.scratch.live_delta -= orphans as i64;
     }
     for &n in &ids {
         let local = n as usize - node_lo;
-        let orphans = routers_s[local].take_orphan_credits();
+        let orphans = work.routers[local].take_orphan_credits();
         for (port, vc) in orphans {
-            shared.buffer_credit(scratch, n as usize, port, vc);
+            ctx.buffer_credit(&mut work.scratch, n as usize, port, vc);
         }
     }
-    scratch.ids = ids;
+    work.scratch.ids = ids;
 }
 
 /// Switch traversal for one shard, over the ids drained by
@@ -817,78 +706,72 @@ fn route_task(
 /// push buffer (links may belong to another shard) or deliver into the
 /// shard's own receivers; upstream credits buffer per the
 /// credit-return latency; finished stall streaks buffer as events.
-fn traverse_task(
-    shared: &Shared<'_>,
-    routers_s: &mut [Router],
-    receivers_s: &mut [Receiver],
-    router_set: &mut ActiveSet,
-    scratch: &mut ShardScratch,
-    node_lo: usize,
-) {
-    let now = shared.now;
-    let mut ids = std::mem::take(&mut scratch.ids);
-    let mut traversals = std::mem::take(&mut scratch.traversals);
-    let is_killed = |w: WormId| shared.killed.contains(w);
+fn traverse_task(ctx: &SharedCtx, work: &mut ShardWork, node_lo: usize, _links_lo: usize) {
+    let now = ctx.now;
+    let mut ids = std::mem::take(&mut work.scratch.ids);
+    let mut traversals = std::mem::take(&mut work.scratch.traversals);
+    let killed = &ctx.killed;
+    let is_killed = |w: WormId| killed.contains(w);
     for &n in &ids {
         let local = n as usize - node_lo;
         traversals.clear();
-        routers_s[local].traverse_into(now, &is_killed, &mut traversals);
+        work.routers[local].traverse_into(now, &is_killed, &mut traversals);
         for k in 0..traversals.len() {
             let t = traversals[k];
-            scratch.progress = true;
-            if routers_s[local].port_kind(t.from_port) == PortKind::Node {
-                shared.buffer_credit(scratch, n as usize, t.from_port, t.from_vc);
+            work.scratch.progress = true;
+            if work.routers[local].port_kind(t.from_port) == PortKind::Node {
+                ctx.buffer_credit(&mut work.scratch, n as usize, t.from_port, t.from_vc);
             }
             match t.target {
                 RouteTarget::Link { port, vc } => {
-                    let Some(li) = shared.out_link[n as usize][port.index()] else {
+                    let Some(li) = ctx.out_link[n as usize][port.index()] else {
                         debug_assert!(false, "route to disconnected port");
                         continue;
                     };
-                    scratch.push_li.push(crate::network::idx32(li));
-                    scratch.push_vc.push(vc.as_u8());
-                    scratch.push_flit.push(t.flit);
+                    work.scratch.push_li.push(crate::network::idx32(li));
+                    work.scratch.push_vc.push(vc.as_u8());
+                    work.scratch.push_flit.push(t.flit);
                 }
                 RouteTarget::Eject { .. } => {
-                    scratch.live_delta -= 1;
-                    if shared.killed.contains(t.flit.worm) {
-                        scratch.counters.flits_dropped_killed += 1;
-                        receivers_s[local].discard(t.flit.worm);
+                    work.scratch.live_delta -= 1;
+                    if ctx.killed.contains(t.flit.worm) {
+                        work.scratch.counters.flits_dropped_killed += 1;
+                        work.receivers[local].discard(t.flit.worm);
                         continue;
                     }
-                    let delivered = receivers_s[local].on_flit(now, t.flit);
-                    scratch.delivered.extend(delivered);
+                    let delivered = work.receivers[local].on_flit(now, t.flit);
+                    work.scratch.delivered.extend(delivered);
                 }
             }
         }
     }
-    if shared.trace_on {
-        let mut streaks = std::mem::take(&mut scratch.streaks);
+    if ctx.trace_on {
+        let mut streaks = std::mem::take(&mut work.scratch.streaks);
         for &n in &ids {
             let local = n as usize - node_lo;
             streaks.clear();
-            routers_s[local].drain_streaks_into(&mut streaks);
+            work.routers[local].drain_streaks_into(&mut streaks);
             for st in &streaks {
-                if let Some(li) = shared.out_link[n as usize][st.port.index()] {
-                    scratch.streak_events.push(Event::LinkStall {
+                if let Some(li) = ctx.out_link[n as usize][st.port.index()] {
+                    work.scratch.streak_events.push(Event::LinkStall {
                         at: st.since,
-                        link: shared.link_ids[li],
+                        link: ctx.link_ids[li],
                         cause: st.cause,
                         cycles: st.cycles,
                     });
                 }
             }
         }
-        scratch.streaks = streaks;
+        work.scratch.streaks = streaks;
     }
     for &n in &ids {
         let local = n as usize - node_lo;
-        let r = &routers_s[local];
+        let r = &work.routers[local];
         if r.total_occupancy() > 0 || r.has_open_streaks() {
-            router_set.insert(n);
+            work.router_set.insert(n);
         }
     }
     ids.clear();
-    scratch.ids = ids;
-    scratch.traversals = traversals;
+    work.scratch.ids = ids;
+    work.scratch.traversals = traversals;
 }

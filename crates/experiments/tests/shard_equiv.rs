@@ -33,7 +33,9 @@ use cr_traffic::{LengthDistribution, TrafficPattern};
 
 /// The shard counts every fixed-grid test sweeps: even split, more
 /// shards than a tiny torus has rows, and a count that does not divide
-/// the node count.
+/// the node count. `shards = 1` goes through the persistent team too,
+/// via [`single_shard_through_team_twin_matches`]'s forced-sharded
+/// runs.
 const SHARD_COUNTS: [usize; 3] = [2, 4, 7];
 
 /// Runs the same configuration serially and at each count in
@@ -185,6 +187,93 @@ fn showdown_point_per_topology_shard_twin_matches() {
             },
         );
     }
+}
+
+/// `shards = 1` through the persistent team: forcing the sharded
+/// stepper on a single-shard plan still runs every team fan-out,
+/// ownership hand-off, and phase barrier, and must stay byte-identical
+/// to the serial stepper — both fault-free (parallel arrivals gate)
+/// and with dead links (gated arrivals under FCR).
+#[test]
+fn single_shard_through_team_twin_matches() {
+    for dead in [0usize, 2] {
+        let label = format!("forced-team shards=1 dead={dead}");
+        let build = || {
+            let mut b = Scale::Tiny.builder();
+            let mut faults = FaultModel::new();
+            if dead > 0 {
+                let topo = KAryNCube::torus(Scale::Tiny.radix(), 2);
+                faults
+                    .kill_random_links_connected(&topo, dead, &mut SimRng::from_seed(0xFA))
+                    .expect("fault plan must keep the network connected");
+            }
+            b.routing(RoutingKind::AdaptiveMisroute {
+                vcs: 1,
+                extra_hops: 4,
+            })
+            .protocol(ProtocolKind::Fcr)
+            .faults(faults)
+            .traffic(TrafficPattern::Uniform, LengthDistribution::Fixed(16), 0.2)
+            .trace(4096)
+            .seed(0x51);
+            b
+        };
+        let mut serial = build().build();
+        let s = serial.run(Scale::Tiny.cycles()).to_json();
+
+        let mut forced = build().build();
+        assert_eq!(forced.num_shards(), 1, "{label}: plan must stay single-shard");
+        forced.set_force_sharded(true);
+        forced.set_shard_threads(Some(4));
+        let p = forced.run(Scale::Tiny.cycles()).to_json();
+        assert!(
+            s == p,
+            "{label}: serial and forced-sharded reports differ\nserial:\n{s}\nforced:\n{p}"
+        );
+        assert_eq!(serial.now(), forced.now(), "{label}: clock differs");
+        assert_eq!(
+            serial.take_trace_events(),
+            forced.take_trace_events(),
+            "{label}: trace event streams differ"
+        );
+    }
+}
+
+/// Constructing and dropping sharded networks must not leak worker
+/// threads: the persistent team is joined in `Network::drop` before
+/// the shard state it references is freed. 100 construct/step/drop
+/// rounds leave the process thread count where it started.
+#[test]
+fn repeated_sharded_drop_leaks_no_threads() {
+    // /proc is the only std-visible thread census; skip quietly where
+    // absent (same policy as the pool's own drop test).
+    let count_threads = || -> Option<usize> {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        status
+            .lines()
+            .find_map(|l| l.strip_prefix("Threads:"))
+            .and_then(|v| v.trim().parse().ok())
+    };
+    let Some(before) = count_threads() else {
+        return;
+    };
+    for round in 0..100u64 {
+        let mut b = Scale::Tiny.builder();
+        b.routing(RoutingKind::Adaptive { vcs: 1 })
+            .protocol(ProtocolKind::Cr)
+            .traffic(TrafficPattern::Uniform, LengthDistribution::Fixed(8), 0.2)
+            .seed(round)
+            .shards(4);
+        let mut net = b.build();
+        net.set_shard_threads(Some(4));
+        // A handful of cycles is enough to spawn the team lazily.
+        net.run(8);
+    }
+    let after = count_threads().expect("thread census available above");
+    assert!(
+        after <= before,
+        "sharded network drops leaked threads: {before} -> {after}"
+    );
 }
 
 /// A faulty FCR sweep through the parallel executor: serial vs sharded

@@ -166,9 +166,13 @@ impl Scan<'_> {
             return;
         }
         for (i, t) in self.toks.iter().enumerate() {
+            // Any `spawn(` call site counts — `.spawn(`,
+            // `thread::spawn(`, and the bare `spawn(` a
+            // `use std::thread::spawn;` import enables. Only a
+            // `fn spawn(` definition is not a call.
             let spawn = t.is_ident("spawn")
                 && self.next_is(i, '(')
-                && (self.prev_is(i, '.') || self.prev_is(i, ':'));
+                && !(i > 0 && self.toks[i - 1].is_ident("fn"));
             // `thread::scope` is a spawn in scoped clothing: shard
             // workers and sweep points alike must go through the pool.
             let scope = t.is_ident("scope")
@@ -183,7 +187,8 @@ impl Scan<'_> {
                     "thread-spawn",
                     format!(
                         "thread {} outside cr_sim::pool: parallelism must flow through \
-                         the work-stealing pool so results stay identical under any --jobs",
+                         the pool's persistent Team so results stay identical under any \
+                         --jobs",
                         if spawn { "spawn" } else { "scope" }
                     ),
                 );

@@ -1,5 +1,24 @@
 //@ lint-as: crates/experiments/src/fixture.rs
+use std::thread::spawn;
+
 fn fan_out() -> i32 {
     let handle = std::thread::spawn(|| 1 + 1);
     handle.join().unwrap_or(0)
+}
+
+fn bare_fan_out() -> i32 {
+    // The import above makes this a thread spawn with nothing in
+    // front of it — still a spawn.
+    let handle = spawn(|| 2 + 2);
+    handle.join().unwrap_or(0)
+}
+
+struct Scheduler;
+impl Scheduler {
+    // A *definition* named spawn is not a call; only call sites are
+    // flagged (the method call in schedule below would be, if this
+    // were a real thread API).
+    fn spawn(&self) -> i32 {
+        7
+    }
 }

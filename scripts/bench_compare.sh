@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Compare a freshly measured BENCH_sweep.json against the committed
-# baseline and fail on any benchmark whose median-derived
-# cycles_per_sec regressed by more than 25%.
+# baseline and fail on any benchmark whose best-case throughput
+# (sim_cycles / min_ns) regressed by more than 25%.
 #
 # Usage: scripts/bench_compare.sh [candidate_json] [baseline_json]
 #
@@ -10,10 +10,15 @@
 # snapshot). Candidate-only benchmarks are additions: reported, never
 # a failure. Baseline benchmarks missing from the candidate mean the
 # bench silently stopped measuring something — that fails, the same
-# way a vanished test would. Wall-clock noise is absorbed by the
-# generous threshold, which exists to catch scheduler or executor
-# regressions an order smaller than the ones the active-set work
-# targets.
+# way a vanished test would.
+#
+# The gate compares *min*-derived throughput rather than the JSON's
+# median-derived `cycles_per_sec` headline: on a shared host timing
+# noise is strictly additive (interference only ever slows a sample
+# down), so best-of-N is stable across runs where medians of
+# millisecond-scale benches jitter 15-30% and would trip the gate
+# stochastically. A real code regression slows every sample including
+# the best one, which is exactly what the gate should catch.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,13 +33,32 @@ for f in "$candidate" "$baseline"; do
     fi
 done
 
-# The bench harness writes one key per line, so `name` /
-# `cycles_per_sec` pairs can be extracted without a JSON parser
-# (cycles_per_sec only ever appears inside a benchmark object).
+# The bench harness writes one key per line, so benchmark fields can
+# be extracted without a JSON parser (cycles_per_sec only ever
+# appears inside a benchmark object). Benchmarks are compared per
+# (name, jobs, shards) configuration — the same benchmark measured at
+# a different worker or shard count is a different data point, not a
+# regression of the old one. The per-benchmark `jobs`/`shards` fields
+# follow `name` inside each object; the group-level `meta.jobs` line
+# appears while no name is open and is ignored. Old snapshots without
+# the per-benchmark fields fall back to jobs=1, shards=1. The printed
+# figure is best-case throughput, sim_cycles * 1e9 / min_ns (falling
+# back to the median-derived cycles_per_sec field if min_ns is ever
+# absent).
 extract() {
     awk '
-        /"name":/ { gsub(/[",]/, "", $2); name = $2 }
-        /"cycles_per_sec":/ { gsub(/,/, "", $2); print name, $2 }
+        /"name":/ { gsub(/[",]/, "", $2); name = $2; jobs = 1; shards = 1; min = 0; cyc = 0 }
+        /"jobs":/ { if (name != "") { gsub(/,/, "", $2); jobs = $2 } }
+        /"shards":/ { if (name != "") { gsub(/,/, "", $2); shards = $2 } }
+        /"min_ns":/ { if (name != "") { gsub(/,/, "", $2); min = $2 } }
+        /"sim_cycles":/ { if (name != "") { gsub(/,/, "", $2); cyc = $2 } }
+        /"cycles_per_sec":/ {
+            gsub(/,/, "", $2)
+            cps = $2
+            if (min > 0 && cyc > 0) cps = int(cyc * 1e9 / min)
+            print name "[j" jobs ",sh" shards "]", cps
+            name = ""
+        }
     ' "$1"
 }
 
@@ -57,7 +81,7 @@ while read -r name base_cps; do
     # Integer arithmetic: regress iff new < base * (100 - threshold) / 100.
     floor=$(( base_cps * (100 - threshold_pct) / 100 ))
     if [ "$new_cps" -lt "$floor" ]; then
-        echo "bench_compare: FAIL — '$name' cycles_per_sec regressed" \
+        echo "bench_compare: FAIL — '$name' best-case cycles/sec regressed" \
              "${base_cps} -> ${new_cps} (floor ${floor})" >&2
         fail=1
     else
@@ -74,4 +98,4 @@ done < /tmp/bench_candidate.$$
 if [ "$fail" -ne 0 ]; then
     exit 1
 fi
-echo "bench_compare: OK (no >${threshold_pct}% median cycles_per_sec regression)"
+echo "bench_compare: OK (no >${threshold_pct}% best-case cycles/sec regression)"

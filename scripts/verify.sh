@@ -6,8 +6,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # --bench additionally runs a full-sample benchmark pass and fails on
-# a >25% median cycles_per_sec regression against the committed
-# BENCH_sweep.json (see scripts/bench_compare.sh).
+# a >25% best-case (min_ns-derived) cycles/sec regression against the
+# committed BENCH_sweep.json (see scripts/bench_compare.sh).
 run_bench=0
 for arg in "$@"; do
     case "$arg" in
@@ -144,7 +144,7 @@ echo "verify: fig11 output unchanged by --trace; trace dump validated"
 # schema (group/meta/benchmarks with the documented fields).
 CR_BENCH_SAMPLES=3 cargo bench --offline -p cr-bench --bench sweep > /dev/null
 sweep_json="target/bench/BENCH_sweep.json"
-for field in '"group"' '"meta"' '"elapsed_ns"' '"jobs"' '"benchmarks"' \
+for field in '"group"' '"meta"' '"elapsed_ns"' '"jobs"' '"shards"' '"benchmarks"' \
              '"median_ns"' '"sim_cycles"' '"cycles_per_sec"'; do
     if ! grep -q "$field" "$sweep_json"; then
         echo "verify: FAIL — $sweep_json missing $field" >&2
@@ -153,10 +153,25 @@ for field in '"group"' '"meta"' '"elapsed_ns"' '"jobs"' '"benchmarks"' \
 done
 echo "verify: $sweep_json regenerated and schema-checked"
 
-# Performance gate (opt-in: slow). Re-measure at full sample counts,
-# then demand no benchmark lost more than 25% of its baseline
-# cycles_per_sec.
+# Performance gate (opt-in: slow). First prove the CR_SHARDS x CR_JOBS
+# environment matrix is result-invariant on the tiny battery (the env
+# plumbing is how the bench entries select their configurations), then
+# re-measure at full sample counts and demand no benchmark lost more
+# than 25% of its baseline cycles_per_sec.
 if [ "$run_bench" -eq 1 ]; then
+    for jobs in 1 2; do
+        for shards in 1 4; do
+            CR_JOBS=$jobs CR_SHARDS=$shards ./target/release/all --tiny \
+                > "$tmpdir/tiny_j${jobs}_sh${shards}.txt"
+            if ! diff -q "$tmpdir/tiny_serial.txt" \
+                    "$tmpdir/tiny_j${jobs}_sh${shards}.txt" > /dev/null; then
+                echo "verify: FAIL — CR_JOBS=$jobs CR_SHARDS=$shards --tiny output differs from serial" >&2
+                diff "$tmpdir/tiny_serial.txt" "$tmpdir/tiny_j${jobs}_sh${shards}.txt" | head -40 >&2
+                exit 1
+            fi
+        done
+    done
+    echo "verify: CR_SHARDS x CR_JOBS matrix (jobs 1,2 x shards 1,4) identical to serial"
     cargo bench --offline -p cr-bench --bench sweep > /dev/null
     ./scripts/bench_compare.sh
 fi
